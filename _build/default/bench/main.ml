@@ -1,0 +1,462 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (§3), plus Bechamel micro-benchmarks of the
+   computational kernels and the ablation studies called out in
+   DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, paper scale
+     dune exec bench/main.exe -- --scale 0.3  # scaled-down smoke run
+     dune exec bench/main.exe -- fig3 table1  # selected experiments
+     dune exec bench/main.exe -- kernels      # micro-benchmarks only
+
+   Experiment CSVs land in bench/out/. *)
+
+open Bechamel
+open Toolkit
+
+let out_dir = "bench/out"
+
+let ensure_out_dir () =
+  if not (Sys.file_exists out_dir) then begin
+    (try Unix.mkdir "bench" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ---- Bechamel micro-benchmarks: the kernels behind each table ---- *)
+
+let kernel_tests () =
+  let open La in
+  let rng = Random.State.make [| 17 |] in
+  let n = 60 in
+  let a =
+    Mat.sub (Mat.scale 0.4 (Mat.random ~rng n n)) (Mat.scale 1.5 (Mat.identity n))
+  in
+  let b = Mat.random_vec ~rng n in
+  let lu = Lu.factor a in
+  let ks = Ksolve.prepare a in
+  let w2 = Kron.vec b b in
+  let model = Circuit.Models.nltl ~stages:20 ~source:(`Voltage 1.0) () in
+  let q = Circuit.Models.qldae model in
+  let x = Vec.constant (Volterra.Qldae.dim q) 0.01 in
+  let u = Vec.of_list [ 0.5 ] in
+  let rom =
+    (Mor.Atmor.reduce ~orders:{ Mor.Atmor.k1 = 6; k2 = 3; k3 = 0 } q).Mor.Atmor.rom
+  in
+  let xr = Vec.constant (Volterra.Qldae.dim rom) 0.01 in
+  [
+    Test.make ~name:"lu_factor_60" (Staged.stage (fun () -> Lu.factor a));
+    Test.make ~name:"lu_solve_60" (Staged.stage (fun () -> Lu.solve lu b));
+    Test.make ~name:"schur_prepare_60" (Staged.stage (fun () -> Ksolve.prepare a));
+    Test.make ~name:"ksolve_k2_60"
+      (Staged.stage (fun () -> Ksolve.solve_shifted_real ks ~k:2 ~sigma:1.0 w2));
+    Test.make ~name:"arnoldi_k8_60"
+      (Staged.stage (fun () -> Mor.Arnoldi.run ~matvec:(Lu.solve lu) ~b ~k:8));
+    Test.make ~name:"qldae_rhs_full_nltl20"
+      (Staged.stage (fun () -> Volterra.Qldae.rhs q x u));
+    Test.make ~name:"qldae_rhs_rom"
+      (Staged.stage (fun () -> Volterra.Qldae.rhs rom xr u));
+  ]
+
+(* Per-table reduction benchmarks at small scale: one Test.make per
+   paper table/figure, timing the dominant algorithmic step. *)
+let table_tests () =
+  let fig2_q = Circuit.Models.qldae (Circuit.Models.nltl_voltage ~stages:8 ()) in
+  let fig3_q = Circuit.Models.qldae (Circuit.Models.nltl_current ~stages:8 ()) in
+  let fig4_q =
+    Circuit.Models.qldae (Circuit.Models.rf_receiver ~lna_stages:8 ~pa_stages:8 ())
+  in
+  let fig5_q = Circuit.Models.qldae (Circuit.Models.varistor ~sections:10 ()) in
+  let orders = { Mor.Atmor.k1 = 4; k2 = 2; k3 = 1 } in
+  [
+    Test.make ~name:"fig2_reduce_nltl_vsrc"
+      (Staged.stage (fun () -> Mor.Atmor.reduce ~orders fig2_q));
+    Test.make ~name:"fig3_reduce_nltl_isrc"
+      (Staged.stage (fun () -> Mor.Atmor.reduce ~orders fig3_q));
+    Test.make ~name:"table1_norm_baseline"
+      (Staged.stage (fun () -> Mor.Norm.reduce ~orders fig3_q));
+    Test.make ~name:"fig4_reduce_rf_miso"
+      (Staged.stage (fun () -> Mor.Atmor.reduce ~orders fig4_q));
+    Test.make ~name:"fig5_reduce_varistor"
+      (Staged.stage
+         (fun () ->
+           Mor.Atmor.reduce ~s0:0.5 ~orders:{ Mor.Atmor.k1 = 4; k2 = 0; k3 = 1 }
+             fig5_q));
+  ]
+
+let run_bechamel ~name tests =
+  Printf.printf "== %s (Bechamel, ns/run) ==\n%!" name;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let test = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] -> Printf.printf "  %-32s %12.0f ns/run\n" name t
+      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ---- figure/table reproductions ---- *)
+
+let run_experiment ?(csv = true) (e : Experiments.Common.t) =
+  Experiments.Common.report Fmt.stdout e;
+  if csv then begin
+    ensure_out_dir ();
+    let path = Experiments.Common.to_csv ~dir:out_dir e in
+    Printf.printf "(series written to %s)\n\n%!" path
+  end
+
+(* cache experiment results so table1 reuses the fig3/fig4 runs *)
+let results : (string, Experiments.Common.t) Hashtbl.t = Hashtbl.create 8
+
+let fig2 ~scale () =
+  let e = Experiments.Paper.fig2 ~scale () in
+  Hashtbl.replace results "fig2" e;
+  run_experiment e
+
+let fig3 ~scale () =
+  let e = Experiments.Paper.fig3 ~scale () in
+  Hashtbl.replace results "fig3" e;
+  run_experiment e
+
+let fig4 ~scale () =
+  let e = Experiments.Paper.fig4 ~scale () in
+  Hashtbl.replace results "fig4" e;
+  run_experiment e
+
+let fig5 ~scale () =
+  let e = Experiments.Paper.fig5 ~scale () in
+  (* Fig 5b upper panel: the surge input *)
+  Printf.printf "== fig5 input (9.8 kV surge) ==\n";
+  let surge = Experiments.Paper.fig5_input_series e in
+  print_string
+    (Waves.Asciiplot.render ~xs:e.Experiments.Common.times ~height:10
+       [ ("surge (x100V)", surge) ]);
+  run_experiment e
+
+let table1 ~scale () =
+  let get id builder =
+    match Hashtbl.find_opt results id with
+    | Some e -> e
+    | None ->
+      let e = builder ~scale () in
+      Hashtbl.replace results id e;
+      e
+  in
+  let es =
+    [
+      get "fig3" (fun ~scale () -> Experiments.Paper.fig3 ~scale ());
+      get "fig4" (fun ~scale () -> Experiments.Paper.fig4 ~scale ());
+    ]
+  in
+  Experiments.Common.table1_rows Fmt.stdout es;
+  print_newline ()
+
+(* ---- ablations (DESIGN.md experiment ABL) ---- *)
+
+let ablation_block_vs_sylvester () =
+  Printf.printf "== ablation: eq.17 block moments vs eq.18 Sylvester path ==\n%!";
+  (* SISO weakly nonlinear ladder with nonsingular G1 (the Sylvester
+     path's spectral condition excludes quadratized diode circuits) *)
+  let elements = ref [] in
+  let addel e = elements := e :: !elements in
+  let stages = 40 in
+  (* scale-free RC line values (total attenuation e^-2, cf. the RF
+     model), with a slight grading to avoid exact eigenvalue
+     coincidences in the Sylvester solvability condition *)
+  let base = 2.0 /. float_of_int stages in
+  for node = 1 to stages do
+    addel (Circuit.Netlist.Capacitor { n1 = node; n2 = 0; c = 1.0 });
+    let g1 = base *. (1.0 +. (0.02 *. float_of_int node)) in
+    addel
+      (Circuit.Netlist.Poly_conductor
+         { n1 = node; n2 = 0; g1; g2 = 0.3 *. g1; g3 = 0.0 })
+  done;
+  for node = 1 to stages - 1 do
+    addel (Circuit.Netlist.Resistor { n1 = node; n2 = node + 1; r = base })
+  done;
+  addel (Circuit.Netlist.Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 });
+  let nl =
+    Circuit.Netlist.make ~n_nodes:stages ~n_inputs:1 ~output_node:stages
+      (List.rev !elements)
+  in
+  let q =
+    (Circuit.Quadratize.quadratize (Circuit.Netlist.assemble nl))
+      .Circuit.Quadratize.qldae
+  in
+  let orders = { Mor.Atmor.k1 = 5; k2 = 3; k3 = 0 } in
+  let input =
+    Waves.Source.vectorize [ Waves.Source.damped_sine ~freq:0.2 ~decay:0.1 0.4 ]
+  in
+  let sol = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:15.0 ~samples:151 in
+  let yf = Volterra.Qldae.output q sol in
+  let evaluate name r =
+    try
+      let sr =
+        Volterra.Qldae.simulate r.Mor.Atmor.rom ~input ~t0:0.0 ~t1:15.0
+          ~samples:151
+      in
+      let yr = Volterra.Qldae.output r.Mor.Atmor.rom sr in
+      Printf.printf
+        "  %-18s order %2d (raw %2d)  reduce %.3fs  max rel err %.5f\n%!" name
+        (Mor.Atmor.order r) r.Mor.Atmor.raw_moments r.Mor.Atmor.reduction_seconds
+        (Waves.Metrics.max_relative_error ~reference:yf ~approx:yr)
+    with Ode.Types.Step_failure _ ->
+      Printf.printf "  %-18s order %2d (raw %2d)  reduce %.3fs  (diverged)\n%!"
+        name (Mor.Atmor.order r) r.Mor.Atmor.raw_moments
+        r.Mor.Atmor.reduction_seconds
+  in
+  evaluate "block (eq.17)" (Mor.Atmor.reduce ~s0:0.0 ~orders q);
+  evaluate "Sylvester (eq.18)" (Mor.Atmor.reduce_sylvester ~s0:0.0 ~orders q);
+  print_newline ()
+
+let ablation_order_sweep ~scale () =
+  Printf.printf
+    "== ablation: accuracy vs ROM order (NLTL current source, proposed vs \
+     NORM) ==\n%!";
+  (* keep at least 20 stages: tiny models with near-full-order nonlinear
+     ROMs can blow up, which would say nothing about the methods *)
+  let stages = max 20 (int_of_float (35.0 *. scale)) in
+  let q = Circuit.Models.qldae (Circuit.Models.nltl_current ~stages ()) in
+  let input =
+    Waves.Source.vectorize
+      [ Waves.Source.damped_sine ~freq:0.125 ~decay:0.06 1.6 ]
+  in
+  let sol = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:30.0 ~samples:151 in
+  let yf = Volterra.Qldae.output q sol in
+  Printf.printf "  %-10s %-24s %-24s\n" "orders" "proposed (q, err)" "NORM (q, err)";
+  List.iter
+    (fun (k1, k2, k3) ->
+      let orders = { Mor.Atmor.k1; k2; k3 } in
+      let cell r =
+        try
+          let sr =
+            Volterra.Qldae.simulate r.Mor.Atmor.rom ~input ~t0:0.0 ~t1:30.0
+              ~samples:151
+          in
+          let yr = Volterra.Qldae.output r.Mor.Atmor.rom sr in
+          Printf.sprintf "q=%2d err=%.5f" (Mor.Atmor.order r)
+            (Waves.Metrics.max_relative_error ~reference:yf ~approx:yr)
+        with Ode.Types.Step_failure _ ->
+          Printf.sprintf "q=%2d (diverged)" (Mor.Atmor.order r)
+      in
+      let at = cell (Mor.Atmor.reduce ~orders q) in
+      let nr = cell (Mor.Norm.reduce ~orders q) in
+      Printf.printf "  (%d,%d,%d)    %-24s %-24s\n%!" k1 k2 k3 at nr)
+    [ (4, 0, 0); (6, 0, 0); (6, 2, 0); (6, 3, 0); (6, 3, 1); (6, 3, 2); (8, 4, 2) ];
+  print_newline ()
+
+let ablation_expansion_point () =
+  Printf.printf
+    "== ablation: expansion point s0 (varistor surge, k = (6,0,2)) ==\n%!";
+  let q = Circuit.Models.qldae (Circuit.Models.varistor ~sections:40 ()) in
+  let input =
+    Waves.Source.vectorize [ Waves.Source.surge ~t_rise:0.6 ~t_fall:6.0 98.0 ]
+  in
+  let sol = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:30.0 ~samples:151 in
+  let yf = Volterra.Qldae.output q sol in
+  List.iter
+    (fun s0 ->
+      let r =
+        Mor.Atmor.reduce ~s0 ~orders:{ Mor.Atmor.k1 = 6; k2 = 0; k3 = 2 } q
+      in
+      let sr =
+        Volterra.Qldae.simulate r.Mor.Atmor.rom ~input ~t0:0.0 ~t1:30.0
+          ~samples:151
+      in
+      let yr = Volterra.Qldae.output r.Mor.Atmor.rom sr in
+      Printf.printf "  s0 = %-5.2f order %2d  max rel err %.5f\n%!" s0
+        (Mor.Atmor.order r)
+        (Waves.Metrics.max_relative_error ~reference:yf ~approx:yr))
+    [ 0.0; 0.1; 0.25; 0.5; 1.0; 2.0 ];
+  print_newline ()
+
+let ablation_h3_triples () =
+  Printf.printf
+    "== ablation: MISO third-order input triples (`All vs `Diagonal) ==\n%!";
+  let q =
+    Circuit.Models.qldae (Circuit.Models.rf_receiver ~lna_stages:15 ~pa_stages:15 ())
+  in
+  let input =
+    Waves.Source.vectorize
+      [
+        Waves.Source.damped_sine ~freq:0.25 ~decay:0.05 1.2;
+        Waves.Source.sine ~freq:0.9 0.5;
+      ]
+  in
+  let sol = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:20.0 ~samples:151 in
+  let yf = Volterra.Qldae.output q sol in
+  List.iter
+    (fun (name, mode) ->
+      let r =
+        Mor.Atmor.reduce ~h3_triples:mode
+          ~orders:{ Mor.Atmor.k1 = 6; k2 = 3; k3 = 2 }
+          q
+      in
+      let sr =
+        Volterra.Qldae.simulate r.Mor.Atmor.rom ~input ~t0:0.0 ~t1:20.0
+          ~samples:151
+      in
+      let yr = Volterra.Qldae.output r.Mor.Atmor.rom sr in
+      Printf.printf "  %-9s order %2d  reduce %.2fs  max rel err %.5f\n%!" name
+        (Mor.Atmor.order r) r.Mor.Atmor.reduction_seconds
+        (Waves.Metrics.max_relative_error ~reference:yf ~approx:yr))
+    [ ("All", `All); ("Diagonal", `Diagonal) ];
+  print_newline ()
+
+(* Baseline families beyond NORM: TPWL (training dependence — the
+   introduction's critique of ref [14]) and balanced truncation
+   (refs [10, 11]), plus automatic order selection (§4 bullet 1). *)
+let ablation_baselines () =
+  Printf.printf "== ablation: AT-NMOR vs TPWL (training dependence) ==\n%!";
+  let q = Circuit.Models.qldae (Circuit.Models.nltl ~stages:12 ~source:(`Voltage 1.0) ()) in
+  let train_input =
+    Waves.Source.vectorize [ Waves.Source.damped_sine ~freq:0.125 ~decay:0.08 0.8 ]
+  in
+  let tp =
+    Mor.Tpwl.train ~delta:0.01 q ~input:train_input ~t0:0.0 ~t1:25.0 ~samples:300
+  in
+  let at = Mor.Atmor.reduce ~orders:{ Mor.Atmor.k1 = 6; k2 = 3; k3 = 0 } q in
+  Printf.printf "  TPWL: %d pieces / basis %d; AT order %d\n"
+    (Mor.Tpwl.n_pieces tp) (Mor.Tpwl.order tp) (Mor.Atmor.order at);
+  let evaluate name input =
+    let sf = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:25.0 ~samples:101 in
+    let yf = Volterra.Qldae.output q sf in
+    let e_at =
+      let s = Volterra.Qldae.simulate at.Mor.Atmor.rom ~input ~t0:0.0 ~t1:25.0 ~samples:101 in
+      Waves.Metrics.max_relative_error ~reference:yf
+        ~approx:(Volterra.Qldae.output at.Mor.Atmor.rom s)
+    in
+    let e_tp =
+      try
+        let s = Mor.Tpwl.simulate tp ~input ~t0:0.0 ~t1:25.0 ~samples:101 in
+        Waves.Metrics.max_relative_error ~reference:yf ~approx:(Mor.Tpwl.output tp s)
+      with Ode.Types.Step_failure _ -> Float.nan
+    in
+    let show e =
+      if Float.is_nan e then "diverged"
+      else if e > 10.0 then Printf.sprintf "blew up (>%.0e)" e
+      else Printf.sprintf "%.5f" e
+    in
+    Printf.printf "  %-32s AT err %s   TPWL err %s\n%!" name (show e_at) (show e_tp)
+  in
+  evaluate "training input" train_input;
+  evaluate "pulse train (off-training)"
+    (Waves.Source.vectorize [ Waves.Source.pulse_train ~period:12.0 ~flat:5.0 1.6 ]);
+  evaluate "two-tone (off-training)"
+    (Waves.Source.vectorize [ Waves.Source.two_tone ~f1:0.3 ~f2:0.45 0.6 0.5 ]);
+  (* snapshot-POD on the same training trajectory, for reference *)
+  let pod = Mor.Pod.reduce q ~input:train_input ~t0:0.0 ~t1:25.0 ~samples:300 in
+  let pod_err input =
+    try
+      let sf = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:25.0 ~samples:101 in
+      let yf = Volterra.Qldae.output q sf in
+      let s = Volterra.Qldae.simulate pod.Mor.Atmor.rom ~input ~t0:0.0 ~t1:25.0 ~samples:101 in
+      Printf.sprintf "%.5f"
+        (Waves.Metrics.max_relative_error ~reference:yf
+           ~approx:(Volterra.Qldae.output pod.Mor.Atmor.rom s))
+    with Ode.Types.Step_failure _ -> "diverged"
+  in
+  Printf.printf "  POD (order %d): train err %s, pulse-train err %s\n%!"
+    (Mor.Atmor.order pod) (pod_err train_input)
+    (pod_err (Waves.Source.vectorize [ Waves.Source.pulse_train ~period:12.0 ~flat:5.0 1.6 ]));
+  print_newline ();
+  Printf.printf "== ablation: balanced truncation baseline (stable G1) ==\n%!";
+  let q = Circuit.Models.qldae (Circuit.Models.rf_receiver ~lna_stages:20 ~pa_stages:20 ()) in
+  let input =
+    Waves.Source.vectorize
+      [ Waves.Source.damped_sine ~freq:0.25 ~decay:0.05 1.2; Waves.Source.sine ~freq:0.9 0.5 ]
+  in
+  let sf = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:20.0 ~samples:101 in
+  let yf = Volterra.Qldae.output q sf in
+  let report name rom order =
+    try
+      let s = Volterra.Qldae.simulate rom ~input ~t0:0.0 ~t1:20.0 ~samples:101 in
+      Printf.printf "  %-22s order %2d  max rel err %.5f\n%!" name order
+        (Waves.Metrics.max_relative_error ~reference:yf ~approx:(Volterra.Qldae.output rom s))
+    with Ode.Types.Step_failure _ ->
+      Printf.printf "  %-22s order %2d  (diverged)\n%!" name order
+  in
+  let at = Mor.Atmor.reduce ~orders:{ Mor.Atmor.k1 = 6; k2 = 3; k3 = 0 } q in
+  report "AT-NMOR" at.Mor.Atmor.rom (Mor.Atmor.order at);
+  (* HSV-threshold order (robust) and AT-matched order (no stability
+     guarantee for the nonlinear ROM — may diverge, reported honestly) *)
+  let bt = Mor.Balanced.reduce ~tol:1e-9 q in
+  report "balanced (HSV tol)" bt.Mor.Balanced.rom bt.Mor.Balanced.order;
+  let btm = Mor.Balanced.reduce ~order:(Mor.Atmor.order at) q in
+  report "balanced (matched q)" btm.Mor.Balanced.rom btm.Mor.Balanced.order;
+  print_newline ();
+  Printf.printf "== ablation: automatic order selection (§4) ==\n%!";
+  let q = Circuit.Models.qldae (Circuit.Models.nltl ~stages:15 ~source:(`Voltage 1.0) ()) in
+  let sel = Mor.Autoselect.reduce ~growth_tol:1e-6 q in
+  Printf.printf
+    "  NLTL(30 states): auto-selected k = (%d,%d,%d) -> order %d in %.2fs\n"
+    sel.Mor.Autoselect.chosen.Mor.Atmor.k1 sel.Mor.Autoselect.chosen.Mor.Atmor.k2
+    sel.Mor.Autoselect.chosen.Mor.Atmor.k3
+    (Mor.Atmor.order sel.Mor.Autoselect.result)
+    sel.Mor.Autoselect.result.Mor.Atmor.reduction_seconds;
+  (match
+     Mor.Autoselect.suggest_k1 ~tol:1e-5
+       (Circuit.Models.qldae (Circuit.Models.rf_receiver ~lna_stages:20 ~pa_stages:20 ()))
+   with
+  | Some k -> Printf.printf "  RF(40 states): Hankel SVs suggest k1 = %d\n" k
+  | None -> ());
+  print_newline ()
+
+let ablations ~scale () =
+  ablation_block_vs_sylvester ();
+  ablation_order_sweep ~scale ();
+  ablation_expansion_point ();
+  ablation_h3_triples ();
+  ablation_baselines ()
+
+(* ---- driver ---- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = ref 1.0 in
+  let commands = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | cmd :: rest ->
+      commands := cmd :: !commands;
+      parse rest
+  in
+  parse args;
+  let commands =
+    match List.rev !commands with
+    | [] -> [ "kernels"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "ablation" ]
+    | cs -> cs
+  in
+  let scale = !scale in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | "kernels" ->
+        run_bechamel ~name:"kernels" (kernel_tests ());
+        run_bechamel ~name:"tables" (table_tests ())
+      | "fig2" -> fig2 ~scale ()
+      | "fig3" -> fig3 ~scale ()
+      | "fig4" -> fig4 ~scale ()
+      | "fig5" -> fig5 ~scale ()
+      | "table1" -> table1 ~scale ()
+      | "ablation" -> ablations ~scale ()
+      | other ->
+        Printf.eprintf
+          "unknown command %S (expected kernels|fig2|fig3|fig4|fig5|table1|ablation)\n"
+          other;
+        exit 2)
+    commands;
+  Printf.printf "total bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

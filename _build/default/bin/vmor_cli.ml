@@ -1,0 +1,202 @@
+(* vmor: command-line front end for the associated-transform NMOR
+   library — run the paper's experiments, reduce the bundled circuit
+   models at chosen orders, and inspect reductions. *)
+
+open Cmdliner
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let scale_arg =
+  let doc = "Model scale factor (1.0 = the paper's sizes)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let csv_arg =
+  let doc = "Directory for CSV series dumps (created if missing)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let plots_arg =
+  let doc = "Disable terminal plots." in
+  Arg.(value & flag & info [ "no-plots" ] ~doc)
+
+let run_experiment ~csv ~no_plots (e : Experiments.Common.t) =
+  Experiments.Common.report ~plots:(not no_plots) Fmt.stdout e;
+  match csv with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Experiments.Common.to_csv ~dir e in
+    Printf.printf "(series written to %s)\n" path
+
+let experiment_cmd name title builder =
+  let run scale csv no_plots () =
+    setup_logs (Some Logs.Warning);
+    run_experiment ~csv ~no_plots (builder ~scale ())
+  in
+  Cmd.v
+    (Cmd.info name ~doc:title)
+    Term.(const run $ scale_arg $ csv_arg $ plots_arg $ const ())
+
+let table1_cmd =
+  let run scale () =
+    setup_logs (Some Logs.Warning);
+    Experiments.Common.table1_rows Fmt.stdout (Experiments.Paper.table1 ~scale ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (runtime comparison).")
+    Term.(const run $ scale_arg $ const ())
+
+(* reduce: reduce a bundled model at chosen orders and report *)
+let model_arg =
+  let doc = "Model: nltl-v | nltl-i | rf | varistor." in
+  Arg.(value & opt string "nltl-v" & info [ "model" ] ~docv:"M" ~doc)
+
+let orders_arg =
+  let doc = "Moment orders k1,k2,k3." in
+  Arg.(value & opt (t3 ~sep:',' int int int) (6, 3, 2) & info [ "orders" ] ~docv:"K1,K2,K3" ~doc)
+
+let method_arg =
+  let doc = "Reduction method: at (associated transform) | norm." in
+  Arg.(value & opt string "at" & info [ "method" ] ~docv:"METHOD" ~doc)
+
+let s0_arg =
+  let doc = "Expansion point (default: automatic)." in
+  Arg.(value & opt (some float) None & info [ "s0" ] ~docv:"S0" ~doc)
+
+let build_model ~scale = function
+  | "nltl-v" ->
+    Circuit.Models.qldae
+      (Circuit.Models.nltl_voltage
+         ~stages:(max 4 (int_of_float (50.0 *. scale)))
+         ())
+  | "nltl-i" ->
+    Circuit.Models.qldae
+      (Circuit.Models.nltl_current
+         ~stages:(max 4 (int_of_float (35.0 *. scale)))
+         ())
+  | "rf" ->
+    Circuit.Models.qldae
+      (Circuit.Models.rf_receiver
+         ~lna_stages:(max 4 (int_of_float (86.0 *. scale)))
+         ~pa_stages:(max 4 (int_of_float (87.0 *. scale)))
+         ())
+  | "varistor" ->
+    Circuit.Models.qldae
+      (Circuit.Models.varistor
+         ~sections:(max 4 (int_of_float (97.0 *. scale)))
+         ())
+  | m -> failwith (Printf.sprintf "unknown model %S" m)
+
+let reduce_cmd =
+  let run model orders method_ s0 scale () =
+    setup_logs (Some Logs.Warning);
+    let q = build_model ~scale model in
+    let k1, k2, k3 = orders in
+    let orders = { Mor.Atmor.k1; k2; k3 } in
+    let r =
+      match method_ with
+      | "at" -> Mor.Atmor.reduce ?s0 ~orders q
+      | "norm" -> Mor.Norm.reduce ?s0 ~orders q
+      | m -> failwith (Printf.sprintf "unknown method %S" m)
+    in
+    Printf.printf
+      "model %s: %d states -> %d (raw moment vectors %d, s0 = %g, %.2fs)\n"
+      model (Volterra.Qldae.dim q) (Mor.Atmor.order r) r.Mor.Atmor.raw_moments
+      r.Mor.Atmor.s0 r.Mor.Atmor.reduction_seconds
+  in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Reduce a bundled circuit model and report sizes.")
+    Term.(
+      const run $ model_arg $ orders_arg $ method_arg $ s0_arg $ scale_arg
+      $ const ())
+
+let autoselect_cmd =
+  let run model scale () =
+    setup_logs (Some Logs.Warning);
+    let q = build_model ~scale model in
+    (match Mor.Autoselect.suggest_k1 ~tol:1e-5 q with
+    | Some k -> Printf.printf "Hankel SVs suggest linear order k1 = %d\n" k
+    | None -> Printf.printf "G1 not Hurwitz: no Hankel suggestion\n");
+    let sel = Mor.Autoselect.reduce q in
+    Printf.printf
+      "auto-selected moment orders: k1 = %d, k2 = %d, k3 = %d -> ROM order %d \
+       (%.2fs)\n"
+      sel.Mor.Autoselect.chosen.Mor.Atmor.k1
+      sel.Mor.Autoselect.chosen.Mor.Atmor.k2
+      sel.Mor.Autoselect.chosen.Mor.Atmor.k3
+      (Mor.Atmor.order sel.Mor.Autoselect.result)
+      sel.Mor.Autoselect.result.Mor.Atmor.reduction_seconds
+  in
+  Cmd.v
+    (Cmd.info "autoselect"
+       ~doc:"Automatically select moment orders for a bundled model (§4).")
+    Term.(const run $ model_arg $ scale_arg $ const ())
+
+let distortion_cmd =
+  let freq_arg =
+    Arg.(value & opt float 0.15 & info [ "freq" ] ~docv:"F" ~doc:"Tone frequency.")
+  in
+  let amp_arg =
+    Arg.(value & opt float 0.5 & info [ "amp" ] ~docv:"A" ~doc:"Tone amplitude.")
+  in
+  let run model scale freq amp () =
+    setup_logs (Some Logs.Warning);
+    let q = build_model ~scale model in
+    let r = Volterra.Distortion.harmonics q ~freq ~amp in
+    Printf.printf
+      "model %s @ f=%g amp=%g:\n  fundamental %.6g\n  HD2 %.6g\n  HD3 %.6g\n  \
+       DC shift %.6g\n"
+      model freq amp r.Volterra.Distortion.fundamental
+      r.Volterra.Distortion.hd2 r.Volterra.Distortion.hd3
+      r.Volterra.Distortion.dc_shift
+  in
+  Cmd.v
+    (Cmd.info "distortion"
+       ~doc:"Single-tone harmonic distortion of a bundled model.")
+    Term.(const run $ model_arg $ scale_arg $ freq_arg $ amp_arg $ const ())
+
+let all_cmd =
+  let run scale csv no_plots () =
+    setup_logs (Some Logs.Warning);
+    List.iter
+      (fun b -> run_experiment ~csv ~no_plots (b ~scale ()))
+      [
+        (fun ~scale () -> Experiments.Paper.fig2 ~scale ());
+        (fun ~scale () -> Experiments.Paper.fig3 ~scale ());
+        (fun ~scale () -> Experiments.Paper.fig4 ~scale ());
+        (fun ~scale () -> Experiments.Paper.fig5 ~scale ());
+      ];
+    Experiments.Common.table1_rows Fmt.stdout (Experiments.Paper.table1 ~scale ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (figures 2-5 and Table 1).")
+    Term.(const run $ scale_arg $ csv_arg $ plots_arg $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "vmor" ~version:"1.0.0"
+      ~doc:
+        "Associated-transform nonlinear model order reduction (DAC 2012 \
+         reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            experiment_cmd "fig2" "Reproduce Fig. 2 (NLTL, voltage source)."
+              (fun ~scale () -> Experiments.Paper.fig2 ~scale ());
+            experiment_cmd "fig3" "Reproduce Fig. 3 (NLTL, current source)."
+              (fun ~scale () -> Experiments.Paper.fig3 ~scale ());
+            experiment_cmd "fig4" "Reproduce Fig. 4 (MISO RF receiver)."
+              (fun ~scale () -> Experiments.Paper.fig4 ~scale ());
+            experiment_cmd "fig5" "Reproduce Fig. 5 (varistor surge)."
+              (fun ~scale () -> Experiments.Paper.fig5 ~scale ());
+            table1_cmd;
+            reduce_cmd;
+            autoselect_cmd;
+            distortion_cmd;
+            all_cmd;
+          ]))

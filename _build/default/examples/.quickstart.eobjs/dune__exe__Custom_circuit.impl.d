@@ -1,0 +1,1 @@
+examples/custom_circuit.ml: Array Float Netlist Printf Quadratize Vmor

@@ -1,0 +1,1 @@
+examples/distortion_analysis.mli:

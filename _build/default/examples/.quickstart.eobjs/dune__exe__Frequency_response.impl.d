@@ -1,0 +1,1 @@
+examples/frequency_response.ml: Array Complex Float List Printf Vmor

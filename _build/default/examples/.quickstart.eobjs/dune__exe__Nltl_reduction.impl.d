@@ -1,0 +1,1 @@
+examples/nltl_reduction.ml: Array List Printf Sys Vmor

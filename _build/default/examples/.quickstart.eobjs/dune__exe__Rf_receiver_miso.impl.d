@@ -1,0 +1,1 @@
+examples/rf_receiver_miso.ml: Complex List Printf Vmor

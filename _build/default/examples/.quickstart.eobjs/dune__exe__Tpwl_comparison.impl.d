@@ -1,0 +1,1 @@
+examples/tpwl_comparison.ml: Float Printf Vmor

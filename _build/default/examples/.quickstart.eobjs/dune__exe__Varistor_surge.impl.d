@@ -1,0 +1,1 @@
+examples/varistor_surge.ml: Array Printf Vmor

@@ -1,0 +1,68 @@
+(* The paper's §3.3 scenario: a MISO RF receiver chain where a desired
+   signal at the LNA input coexists with an interfering noise tone
+   coupled into the PA, studying how faithfully the ROM tracks the
+   distorted output (including the intermodulation the quadratic
+   nonlinearities generate).
+
+   Run with: dune exec examples/rf_receiver_miso.exe *)
+
+let () =
+  let model = Vmor.Circuit.Models.rf_receiver ~lna_stages:20 ~pa_stages:20 () in
+  let q = Vmor.Circuit.Models.qldae model in
+  Printf.printf "RF receiver: %d states, %d inputs\n" (Vmor.Volterra.Qldae.dim q)
+    (Vmor.Volterra.Qldae.n_inputs q);
+
+  let r = Vmor.reduce ~orders:{ k1 = 6; k2 = 3; k3 = 2 } q in
+  Printf.printf "reduced to %d states\n\n" (Vmor.order r);
+
+  (* noise-free vs interfered: the ROM must track both conditions *)
+  let signal = Vmor.Waves.Source.damped_sine ~freq:0.25 ~decay:0.05 1.2 in
+  let noise = Vmor.Waves.Source.sine ~freq:0.9 0.5 in
+  let cases =
+    [
+      ("signal only", Vmor.Waves.Source.vectorize [ signal; Vmor.Waves.Source.zero ]);
+      ("signal + coupled noise", Vmor.Waves.Source.vectorize [ signal; noise ]);
+    ]
+  in
+  List.iter
+    (fun (name, input) ->
+      let c = Vmor.compare_transient q r ~input ~t1:20.0 in
+      Printf.printf "%-24s peak %.4f  max rel err %.5f\n" name
+        (Vmor.Waves.Metrics.peak c.Vmor.full_output)
+        c.Vmor.max_rel_error)
+    cases;
+
+  (* show the interfered transient *)
+  let c =
+    Vmor.compare_transient q r
+      ~input:(Vmor.Waves.Source.vectorize [ signal; noise ])
+      ~t1:20.0
+  in
+  print_newline ();
+  print_string (Vmor.plot_comparison c);
+
+  (* second-order intermodulation check in the frequency domain: the
+     associated H2(s) of full vs reduced models at mixing frequencies *)
+  let eng_full = Vmor.Volterra.Assoc.create q in
+  let eng_rom = Vmor.Volterra.Assoc.create ~s0:r.Vmor.Mor.Atmor.s0 (Vmor.rom r) in
+  let cfull = Vmor.La.Mat.row q.Vmor.Volterra.Qldae.c 0 in
+  let crom =
+    Vmor.La.Mat.row (Vmor.rom r).Vmor.Volterra.Qldae.c 0
+  in
+  Printf.printf "\nassociated H2(s) at s = j w (output-projected):\n";
+  List.iter
+    (fun w ->
+      let s = { Complex.re = 0.0; im = w } in
+      let hf =
+        Vmor.La.Cvec.dot
+          (Vmor.La.Cvec.of_real cfull)
+          (Vmor.Volterra.Assoc.h2_eval eng_full ~inputs:(0, 1) s)
+      in
+      let hr =
+        Vmor.La.Cvec.dot
+          (Vmor.La.Cvec.of_real crom)
+          (Vmor.Volterra.Assoc.h2_eval eng_rom ~inputs:(0, 1) s)
+      in
+      Printf.printf "  w = %4.2f: full |H2| = %.5g  rom |H2| = %.5g\n" w
+        (Complex.norm hf) (Complex.norm hr))
+    [ 0.5; 1.0; 2.0; 4.0 ]

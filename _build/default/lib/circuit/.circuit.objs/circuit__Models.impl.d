@@ -1,0 +1,1 @@
+lib/circuit/models.ml: Float La List Netlist Printf Quadratize

@@ -1,0 +1,1 @@
+lib/circuit/models.mli: Netlist Quadratize Volterra

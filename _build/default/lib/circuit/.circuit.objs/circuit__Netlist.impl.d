@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Float La List Lu Mat Ode Printf Vec

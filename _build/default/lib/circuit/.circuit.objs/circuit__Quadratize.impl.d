@@ -1,0 +1,1 @@
+lib/circuit/quadratize.ml: Array Float La List Lu Mat Netlist Sptensor Vec Volterra

@@ -1,0 +1,1 @@
+lib/circuit/quadratize.mli: La Netlist Vec Volterra

@@ -1,0 +1,1 @@
+lib/circuit/reduce_dae.ml: Array Fun La List Lu Mat Netlist Vec

@@ -1,0 +1,1 @@
+lib/circuit/reduce_dae.mli: La Netlist Vec

@@ -1,0 +1,190 @@
+(* The paper's three benchmark circuits (§3), as netlist builders.
+
+   Component values are normalized (R = C = 1 etc.), matching the
+   paper's setup; time is therefore in units of the RC constant, which
+   the paper labels "nanoseconds". *)
+
+open La
+
+type model = {
+  assembled : Netlist.assembled;
+  quadratized : Quadratize.result;
+  label : string;
+}
+
+let build label netlist =
+  let assembled = Netlist.assemble netlist in
+  { assembled; quadratized = Quadratize.quadratize assembled; label }
+
+let qldae m = m.quadratized.Quadratize.qldae
+
+(* ---- Nonlinear transmission line (paper §3.1 / §3.2, Fig. 2-3) ----
+
+   A ladder of [stages] nodes: unit capacitor at every node, unit
+   resistors between neighbors and from the first ladder node to ground,
+   diodes i = e^{40 v} - 1 between neighboring ladder nodes, and
+   optionally from the first ladder node to ground.
+
+   [linear_front] prepends linear R//C nodes between the source and the
+   diode ladder. Feeding the input through such a node makes
+   q_d^T E^{-1} B = 0 for every diode, so the quadratized system has
+   D1 = 0 exactly — the paper's §3.2 "current source" configuration.
+   The default voltage-driven configuration (§3.1, a Thevenin source
+   straight into the diode-loaded node 1) has D1 ≠ 0.
+
+   State count: (linear_front + stages) node voltages plus one auxiliary
+   state per diode. The paper's sizes are reproduced by:
+   - Fig. 2: stages = 50, voltage source, ground diode -> 100 states;
+   - Fig. 3: stages = 35, current source, linear_front = 1, no ground
+     diode -> 70 states. *)
+
+let nltl ?(stages = 50) ?(alpha = 40.0) ?(ground_diode = true)
+    ?(linear_front = 0) ~source () : model =
+  if stages < 2 then invalid_arg "Models.nltl: need at least 2 stages";
+  let first_ladder = linear_front + 1 in
+  let n_nodes = linear_front + stages in
+  let elements = ref [] in
+  let addel e = elements := e :: !elements in
+  (* capacitors everywhere *)
+  for node = 1 to n_nodes do
+    addel (Netlist.Capacitor { n1 = node; n2 = 0; c = 1.0 })
+  done;
+  (* resistor chain, and a grounding resistor at node 1 *)
+  addel (Netlist.Resistor { n1 = 1; n2 = 0; r = 1.0 });
+  for node = 1 to n_nodes - 1 do
+    addel (Netlist.Resistor { n1 = node; n2 = node + 1; r = 1.0 })
+  done;
+  (* diodes on the ladder section *)
+  if ground_diode then
+    addel (Netlist.Diode { n1 = first_ladder; n2 = 0; alpha; scale = 1.0 });
+  for node = first_ladder to n_nodes - 1 do
+    addel (Netlist.Diode { n1 = node; n2 = node + 1; alpha; scale = 1.0 })
+  done;
+  (match source with
+  | `Voltage r -> List.iter addel (Netlist.thevenin_source ~node:1 ~input:0 ~r)
+  | `Current -> addel (Netlist.Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 }));
+  let netlist =
+    Netlist.make ~n_nodes ~n_inputs:1 ~output_node:1 (List.rev !elements)
+  in
+  build
+    (Printf.sprintf "nltl-%d-%s" stages
+       (match source with `Voltage _ -> "vsrc" | `Current -> "isrc"))
+    netlist
+
+(* Paper §3.1 configuration: voltage source, D1 <> 0, 100 states. *)
+let nltl_voltage ?(stages = 50) () =
+  nltl ~stages ~source:(`Voltage 1.0) ~ground_diode:true ()
+
+(* Paper §3.2 configuration: current source behind a linear front node,
+   D1 = 0, 70 states. *)
+let nltl_current ?(stages = 35) () =
+  nltl ~stages ~source:`Current ~ground_diode:false ~linear_front:1 ()
+
+(* ---- MISO RF receiver chain (paper §3.3, Fig. 4) ----
+
+   Two cascaded weakly nonlinear amplifier ladders (the "LNA" and the
+   "PA"): RC ladders whose node-to-ground conductances have a quadratic
+   term i = g1 v + g2 v². The signal u1 drives the LNA input; the
+   interfering noise u2 couples into the PA input node. No diodes, so
+   D1 = 0 and the quadratized system is the circuit itself.
+
+   State count = lna_stages + pa_stages (the paper's 173 = 86 + 87). *)
+
+let rf_receiver ?(lna_stages = 86) ?(pa_stages = 87) ?(g2_lna = 0.5)
+    ?(g2_pa = 1.0) () : model =
+  if lna_stages < 1 || pa_stages < 1 then
+    invalid_arg "Models.rf_receiver: stage counts must be positive";
+  let n_nodes = lna_stages + pa_stages in
+  let pa_first = lna_stages + 1 in
+  let elements = ref [] in
+  let addel e = elements := e :: !elements in
+  (* Transmission-line-like ladders, scale-free: an RC line attenuates
+     as e^{-sqrt(r g) N}, so per-stage values r = g = 2/N keep the total
+     attenuation at e^{-2} for any length, with unit characteristic
+     impedance. g2_lna / g2_pa are the quadratic-to-linear conductance
+     ratios of the device nonlinearities. *)
+  let gstage = 2.0 /. float_of_int n_nodes in
+  let cstage = 2.0 /. float_of_int n_nodes in
+  (* deterministic per-stage spread (golden-ratio sequence): real
+     amplifier chains have heterogeneous poles; a perfectly uniform
+     ladder would make all Krylov chains nearly collinear *)
+  let spread node =
+    let x = Float.rem (0.6180339887 *. float_of_int node) 1.0 in
+    0.4 +. (1.6 *. x)
+  in
+  for node = 1 to n_nodes do
+    addel (Netlist.Capacitor { n1 = node; n2 = 0; c = cstage *. spread node });
+    let ratio = if node < pa_first then g2_lna else g2_pa in
+    let g1 = gstage *. spread (node + 7) in
+    addel
+      (Netlist.Poly_conductor { n1 = node; n2 = 0; g1; g2 = ratio *. g1; g3 = 0.0 })
+  done;
+  for node = 1 to n_nodes - 1 do
+    addel
+      (Netlist.Resistor { n1 = node; n2 = node + 1; r = gstage *. spread (node + 3) })
+  done;
+  (* signal into the LNA, noise coupled into the PA input *)
+  addel (Netlist.Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 });
+  addel (Netlist.Current_source { n1 = pa_first; n2 = 0; input = 1; gain = 0.6 });
+  let netlist =
+    Netlist.make ~n_nodes ~n_inputs:2 ~output_node:n_nodes (List.rev !elements)
+  in
+  build "rf-receiver" netlist
+
+(* ---- ZnO varistor surge protector (paper §3.4, Fig. 5) ----
+
+   The equivalent circuit of Fig. 5(a): the surge source (through its
+   resistance Ri) feeds a two-stage L//R filter (L1//R1, L2//R2) with a
+   center capacitor, terminated at the protected output node. Both the
+   mid node (V1) and the output node (V2) carry ZnO varistors modeled as
+   the cubic conductance i = g1 v + g3 v³ — giving the paper's ODE with
+   a cubic Kronecker term, C x' + G1 x + G3 x^⊗3 = u.
+
+   The bulk of the state count is the varistor's internal RC
+   grain-boundary parasitic network (why the paper's "IEEE varistor
+   model" has 102 unknowns): a diffusive RC ladder hanging off the
+   output node. Being diffusive, it is exactly the kind of subsystem
+   MOR compresses hard — the paper reduces 102 states to 8.
+
+   Voltages are normalized in units of 100 V: the 9.8 kV surge is
+   amplitude 98, the ~200-300 V clamped output is 2-3.
+
+   State count: (3 + sections) node voltages + 2 inductor currents; the
+   paper's 102 = (3 + 97) + 2 (sections = 97). *)
+
+let varistor ?(sections = 97) ?(g1_var = 0.08) ?(g3_var = 2.4) () : model =
+  if sections < 1 then invalid_arg "Models.varistor: need >= 1 section";
+  let n_nodes = 3 + sections in
+  let out = 3 in
+  let elements = ref [] in
+  let addel e = elements := e :: !elements in
+  (* input node: surge source with impedance and smoothing cap *)
+  addel (Netlist.Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 });
+  addel (Netlist.Resistor { n1 = 1; n2 = 0; r = 2.0 });
+  addel (Netlist.Capacitor { n1 = 1; n2 = 0; c = 1.0 });
+  (* L1 // R1 into the center node, with the center capacitor *)
+  addel (Netlist.Inductor { n1 = 1; n2 = 2; l = 0.3 });
+  addel (Netlist.Resistor { n1 = 1; n2 = 2; r = 1.5 });
+  addel (Netlist.Capacitor { n1 = 2; n2 = 0; c = 2.0 });
+  (* L2 // R2 into the protected output node *)
+  addel (Netlist.Inductor { n1 = 2; n2 = 3; l = 0.3 });
+  addel (Netlist.Resistor { n1 = 2; n2 = 3; r = 1.5 });
+  addel (Netlist.Capacitor { n1 = 3; n2 = 0; c = 1.0 });
+  (* varistors V1 (mid) and V2 (output) + protected load *)
+  addel
+    (Netlist.Poly_conductor
+       { n1 = 2; n2 = 0; g1 = g1_var /. 2.0; g2 = 0.0; g3 = g3_var /. 2.0 });
+  addel
+    (Netlist.Poly_conductor { n1 = out; n2 = 0; g1 = g1_var; g2 = 0.0; g3 = g3_var });
+  addel (Netlist.Resistor { n1 = out; n2 = 0; r = 10.0 });
+  (* RC grain-boundary parasitic ladder off the output node *)
+  for s = 0 to sections - 1 do
+    let prev = if s = 0 then out else 3 + s in
+    let node = 4 + s in
+    addel (Netlist.Resistor { n1 = prev; n2 = node; r = 4.0 });
+    addel (Netlist.Capacitor { n1 = node; n2 = 0; c = 0.5 })
+  done;
+  let netlist =
+    Netlist.make ~n_nodes ~n_inputs:1 ~output_node:out (List.rev !elements)
+  in
+  build "varistor" netlist

@@ -1,0 +1,53 @@
+(** The paper's three benchmark circuits (§3) as ready-made builders.
+    Component values are normalized ([R = C = 1] etc.) exactly as in the
+    paper; time is in units of the RC constant (the paper labels it
+    nanoseconds). *)
+
+type model = {
+  assembled : Netlist.assembled;
+  quadratized : Quadratize.result;
+  label : string;
+}
+
+(** The QLDAE of a built model. *)
+val qldae : model -> Volterra.Qldae.t
+
+(** Nonlinear transmission line: ladder of [stages] diode-coupled nodes
+    (diode law [e^{alpha v} − 1]). [ground_diode] adds the diode from
+    the first ladder node to ground; [linear_front] prepends that many
+    purely linear R//C nodes between source and ladder (making
+    [D1 = 0]). [source] is either [`Voltage r] (Thevenin, §3.1) or
+    [`Current] (§3.2). *)
+val nltl :
+  ?stages:int ->
+  ?alpha:float ->
+  ?ground_diode:bool ->
+  ?linear_front:int ->
+  source:[ `Voltage of float | `Current ] ->
+  unit ->
+  model
+
+(** §3.1 configuration: voltage-driven, [D1 ≠ 0]; default 100 states. *)
+val nltl_voltage : ?stages:int -> unit -> model
+
+(** §3.2 configuration: current-driven behind a linear front node,
+    [D1 = 0]; default 70 states. *)
+val nltl_current : ?stages:int -> unit -> model
+
+(** §3.3 MISO RF receiver: two cascaded weakly nonlinear ladders with
+    quadratic conductances; signal input u1 at the LNA, noise u2 coupled
+    into the PA input. Default 86 + 87 = 173 states. *)
+val rf_receiver :
+  ?lna_stages:int ->
+  ?pa_stages:int ->
+  ?g2_lna:float ->
+  ?g2_pa:float ->
+  unit ->
+  model
+
+(** §3.4 ZnO varistor surge protector: discretized L-C line terminated
+    by cubic-conductance varistors ([i = g1 v + g3 v³]) — the ODE with
+    a cubic Kronecker term. Voltages are normalized in units of 100 V.
+    Default [sections = 97] gives the paper's 102 states. *)
+val varistor :
+  ?sections:int -> ?g1_var:float -> ?g3_var:float -> unit -> model

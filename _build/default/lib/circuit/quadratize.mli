@@ -1,0 +1,29 @@
+(** Exact quadratic-linearization of assembled circuits (the QLMOR-style
+    polynomialization the paper builds on, refs [4, 5]).
+
+    Each exponential diode branch [i = scale (e^{αw} − 1)], [w = qᵀx],
+    gets one auxiliary state [y = e^{αw} − 1] whose evolution
+    [y' = α (y+1) (qᵀ x')] is an exact change of variables. The
+    augmented system is a {!Volterra.Qldae.t}: quadratic in the state,
+    bilinear in state × input (the [D1] term), no approximation.
+
+    [D1 ≠ 0] exactly when some diode's KCL neighborhood is directly
+    driven by a source ([qᵀ E⁻¹ B ≠ 0]) — distinguishing the paper's
+    §3.1 (voltage-driven) from §3.2 (current through a linear front).
+
+    A diode coupled to a cubic conductor would need quartic terms and is
+    rejected with [Failure]. *)
+
+open La
+
+type result = {
+  qldae : Volterra.Qldae.t;
+  n_circuit_states : int;  (** leading block: circuit state [x] *)
+  n_aux : int;  (** trailing block: diode exponential states *)
+}
+
+val quadratize : Netlist.assembled -> result
+
+(** Lift a circuit state into quadratized coordinates (appending the
+    exact diode exponentials [e^{αw} − 1]). *)
+val lift : Netlist.assembled -> Vec.t -> Vec.t

@@ -1,0 +1,129 @@
+(* Regular-part extraction for index-1 circuit DAEs (the paper's §4,
+   second bullet: a singular C "can proceed with the regular part
+   extraction ... the decoupled algebraic part can often be easily
+   handled as they are either immaterial or proportionally related to
+   the regular subsystem").
+
+   A node with no capacitive/inductive path contributes a purely
+   algebraic KCL row (zero row of E). When such nodes carry only linear
+   devices, the algebraic variables are related *proportionally* to the
+   dynamic ones — exactly the paper's remark — and are eliminated by a
+   Schur complement on G:
+
+     E_dd x_d' = -(G_dd - G_da G_aa^-1 G_ad) x_d
+                 + (B_d - G_da G_aa^-1 B_a) u - i_nl(x_d)
+
+   Nonlinear branches touching an algebraic node would make the
+   constraint nonlinear (index analysis beyond this scope) and are
+   rejected. *)
+
+open La
+
+type eliminated = {
+  assembled : Netlist.assembled;  (* reduced, regular assembled system *)
+  dynamic_index : int array;  (* original state index of each kept state *)
+  algebraic_index : int array;  (* original indices of eliminated states *)
+  recover : Vec.t -> Vec.t -> Vec.t;
+      (* [recover xd u] reconstructs the algebraic node voltages *)
+}
+
+let eliminate_algebraic (a : Netlist.assembled) : eliminated =
+  let n = a.Netlist.n_states in
+  let e = a.Netlist.e_mat in
+  (* algebraic states: zero row AND zero column of E *)
+  let is_algebraic =
+    Array.init n (fun i ->
+        let zero = ref true in
+        for j = 0 to n - 1 do
+          if Mat.get e i j <> 0.0 || Mat.get e j i <> 0.0 then zero := false
+        done;
+        !zero)
+  in
+  let algebraic_index =
+    Array.of_list
+      (List.filter (fun i -> is_algebraic.(i)) (List.init n Fun.id))
+  in
+  if Array.length algebraic_index = 0 then
+    {
+      assembled = a;
+      dynamic_index = Array.init n Fun.id;
+      algebraic_index = [||];
+      recover = (fun _ _ -> [||]);
+    }
+  else begin
+    (* nonlinear branches must not touch algebraic nodes *)
+    List.iter
+      (fun br ->
+        List.iter
+          (fun (i, _) ->
+            if is_algebraic.(i) then
+              failwith
+                "Reduce_dae: a nonlinear branch touches a purely algebraic \
+                 node (nonlinear constraint not supported)")
+          br.Netlist.incidence)
+      a.Netlist.branches;
+    if is_algebraic.(a.Netlist.output_index) then
+      failwith "Reduce_dae: output node is algebraic (observe it via recover)";
+    let dynamic_index =
+      Array.of_list
+        (List.filter (fun i -> not is_algebraic.(i)) (List.init n Fun.id))
+    in
+    let nd = Array.length dynamic_index and na = Array.length algebraic_index in
+    let g = a.Netlist.g_mat and b = a.Netlist.b_mat in
+    let pick m rows cols =
+      Mat.init (Array.length rows) (Array.length cols) (fun i j ->
+          Mat.get m rows.(i) cols.(j))
+    in
+    let g_dd = pick g dynamic_index dynamic_index in
+    let g_da = pick g dynamic_index algebraic_index in
+    let g_ad = pick g algebraic_index dynamic_index in
+    let g_aa = pick g algebraic_index algebraic_index in
+    let b_d = pick b dynamic_index (Array.init (Mat.cols b) Fun.id) in
+    let b_a = pick b algebraic_index (Array.init (Mat.cols b) Fun.id) in
+    let gaa_lu =
+      try Lu.factor g_aa
+      with Lu.Singular _ ->
+        failwith
+          "Reduce_dae: algebraic block singular (floating algebraic node?)"
+    in
+    (* Schur complements *)
+    let gaa_inv_gad = Lu.solve_mat gaa_lu g_ad in
+    let gaa_inv_ba = Lu.solve_mat gaa_lu b_a in
+    let g_red = Mat.sub g_dd (Mat.mul g_da gaa_inv_gad) in
+    let b_red = Mat.sub b_d (Mat.mul g_da gaa_inv_ba) in
+    let e_red = pick e dynamic_index dynamic_index in
+    (* remap nonlinear branch incidences into the reduced numbering *)
+    let new_pos = Array.make n (-1) in
+    Array.iteri (fun k i -> new_pos.(i) <- k) dynamic_index;
+    let branches =
+      List.map
+        (fun br ->
+          {
+            br with
+            Netlist.incidence =
+              List.map (fun (i, s) -> (new_pos.(i), s)) br.Netlist.incidence;
+          })
+        a.Netlist.branches
+    in
+    let output_index = new_pos.(a.Netlist.output_index) in
+    let assembled =
+      {
+        a with
+        Netlist.n_states = nd;
+        e_mat = e_red;
+        g_mat = g_red;
+        b_mat = b_red;
+        branches;
+        output_index;
+      }
+    in
+    let recover (xd : Vec.t) (u : Vec.t) : Vec.t =
+      (* x_a = G_aa^-1 (B_a u - G_ad x_d) *)
+      if Array.length xd <> nd then invalid_arg "Reduce_dae.recover: dim";
+      let rhs = Mat.mul_vec b_a u in
+      Vec.axpy ~alpha:(-1.0) (Mat.mul_vec g_ad xd) rhs;
+      ignore na;
+      Lu.solve gaa_lu rhs
+    in
+    { assembled; dynamic_index; algebraic_index; recover }
+  end

@@ -1,0 +1,23 @@
+(** Regular-part extraction for index-1 circuit DAEs — the paper's §4
+    second bullet on singular [C]: nodes with no capacitive/inductive
+    path contribute purely algebraic KCL rows whose variables are
+    proportionally related to the dynamic states; they are eliminated
+    here by a Schur complement on the conductance matrix, yielding a
+    regular (invertible-[E]) system the rest of the pipeline accepts.
+
+    Nonlinear branches touching an algebraic node are rejected with
+    [Failure] (the constraint would be nonlinear). *)
+
+open La
+
+type eliminated = {
+  assembled : Netlist.assembled;  (** reduced, regular system *)
+  dynamic_index : int array;  (** original index of each kept state *)
+  algebraic_index : int array;  (** original indices eliminated *)
+  recover : Vec.t -> Vec.t -> Vec.t;
+      (** [recover xd u] reconstructs the algebraic node voltages *)
+}
+
+(** Detect and eliminate the algebraic states of an assembled netlist.
+    A netlist with invertible [E] is returned unchanged. *)
+val eliminate_algebraic : Netlist.assembled -> eliminated

@@ -1,0 +1,68 @@
+(* High-level facade over the AT-NMOR stack: build or load a QLDAE,
+   reduce it with the paper's method (or the NORM baseline), simulate,
+   and compare — in a handful of calls. The submodule aliases re-export
+   the full underlying API for power users. *)
+
+module La = La
+module Ode = Ode
+module Circuit = Circuit
+module Volterra = Volterra
+module Mor = Mor
+module Waves = Waves
+module Experiments = Experiments
+
+type system = Volterra.Qldae.t
+
+type method_ = Associated_transform | Norm_baseline
+
+type orders = Mor.Atmor.orders = { k1 : int; k2 : int; k3 : int }
+
+type reduction = Mor.Atmor.result
+
+(* Reduce a QLDAE by projection NMOR. *)
+let reduce ?s0 ?tol ?(method_ = Associated_transform) ~orders (q : system) :
+    reduction =
+  match method_ with
+  | Associated_transform -> Mor.Atmor.reduce ?s0 ?tol ~orders q
+  | Norm_baseline -> Mor.Norm.reduce ?s0 ?tol ~orders q
+
+let rom (r : reduction) : system = r.Mor.Atmor.rom
+
+let order = Mor.Atmor.order
+
+(* Transient of any (full or reduced) system; returns times and the
+   first output series. *)
+let transient ?solver ?samples:(samples = 201) (q : system)
+    ~(input : float -> La.Vec.t) ~t1 =
+  let sol = Volterra.Qldae.simulate ?solver q ~input ~t0:0.0 ~t1 ~samples in
+  (sol.Ode.Types.times, Volterra.Qldae.output q sol)
+
+type comparison = {
+  times : float array;
+  full_output : float array;
+  rom_output : float array;
+  rel_error : float array;
+  max_rel_error : float;
+}
+
+(* Simulate the full model and a reduction side by side. *)
+let compare_transient ?solver ?samples (q : system) (r : reduction)
+    ~(input : float -> La.Vec.t) ~t1 : comparison =
+  let times, full_output = transient ?solver ?samples q ~input ~t1 in
+  let _, rom_output = transient ?solver ?samples (rom r) ~input ~t1 in
+  let rel_error =
+    Waves.Metrics.relative_error_series ~reference:full_output
+      ~approx:rom_output
+  in
+  {
+    times;
+    full_output;
+    rom_output;
+    rel_error;
+    max_rel_error = Array.fold_left Float.max 0.0 rel_error;
+  }
+
+(* Render a comparison as a terminal plot. *)
+let plot_comparison (c : comparison) : string =
+  Waves.Asciiplot.render ~xs:c.times
+    [ ("Original", c.full_output); ("Reduced", c.rom_output) ]

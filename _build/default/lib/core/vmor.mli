@@ -1,0 +1,72 @@
+(** High-level facade over the AT-NMOR stack.
+
+    Typical use:
+    {[
+      let model = Vmor.Circuit.Models.nltl_voltage () in
+      let q = Vmor.Circuit.Models.qldae model in
+      let r = Vmor.reduce ~orders:{ k1 = 6; k2 = 3; k3 = 2 } q in
+      let c =
+        Vmor.compare_transient q r ~t1:30.0
+          ~input:(Vmor.Waves.Source.vectorize
+                    [ Vmor.Waves.Source.damped_sine ~freq:0.125 ~decay:0.08 0.8 ])
+      in
+      print_string (Vmor.plot_comparison c)
+    ]} *)
+
+module La = La
+module Ode = Ode
+module Circuit = Circuit
+module Volterra = Volterra
+module Mor = Mor
+module Waves = Waves
+module Experiments = Experiments
+
+type system = Volterra.Qldae.t
+
+type method_ =
+  | Associated_transform  (** the paper's proposed method *)
+  | Norm_baseline  (** multivariate moment matching (Li & Pileggi) *)
+
+type orders = Mor.Atmor.orders = { k1 : int; k2 : int; k3 : int }
+type reduction = Mor.Atmor.result
+
+(** Reduce a QLDAE by projection NMOR (default: the associated-transform
+    method). *)
+val reduce :
+  ?s0:float -> ?tol:float -> ?method_:method_ -> orders:orders -> system -> reduction
+
+(** The reduced-order model of a reduction. *)
+val rom : reduction -> system
+
+(** Reduced dimension. *)
+val order : reduction -> int
+
+(** Transient simulation from rest; times and first output series. *)
+val transient :
+  ?solver:Volterra.Qldae.solver ->
+  ?samples:int ->
+  system ->
+  input:(float -> La.Vec.t) ->
+  t1:float ->
+  float array * float array
+
+type comparison = {
+  times : float array;
+  full_output : float array;
+  rom_output : float array;
+  rel_error : float array;
+  max_rel_error : float;
+}
+
+(** Simulate full model and ROM side by side on the same input. *)
+val compare_transient :
+  ?solver:Volterra.Qldae.solver ->
+  ?samples:int ->
+  system ->
+  reduction ->
+  input:(float -> La.Vec.t) ->
+  t1:float ->
+  comparison
+
+(** Terminal plot of a comparison. *)
+val plot_comparison : comparison -> string

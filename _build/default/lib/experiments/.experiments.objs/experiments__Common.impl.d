@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Filename Float Fmt La List Mor Ode Printf String Unix Volterra Waves

@@ -1,0 +1,1 @@
+lib/experiments/paper.ml: Array Circuit Common Float La Mat Mor Ode Printf Vec Volterra Waves

@@ -1,0 +1,157 @@
+(* Shared experiment plumbing: run a full model and a set of ROMs on the
+   same excitation, collect outputs, relative errors and timings, and
+   render the paper-style report. *)
+
+open La
+
+type rom_run = {
+  method_name : string;
+  order : int;
+  raw_moments : int;
+  reduction_seconds : float;
+  sim_seconds : float;
+  output : float array;
+  rel_error : float array;
+  max_rel_error : float;
+}
+
+type t = {
+  id : string;  (* "fig2", "fig3", ... *)
+  title : string;
+  n_full : int;
+  input_desc : string;
+  times : float array;
+  full_output : float array;
+  full_sim_seconds : float;
+  runs : rom_run list;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* Simulate one QLDAE and return the (first) output series. *)
+let simulate_output ?solver (q : Volterra.Qldae.t) ~input ~t0 ~t1 ~samples =
+  let sol = Volterra.Qldae.simulate ?solver q ~input ~t0 ~t1 ~samples in
+  (sol.Ode.Types.times, Volterra.Qldae.output q sol)
+
+let run_reduction ~method_name ~(reduce : Volterra.Qldae.t -> Mor.Atmor.result)
+    ?solver (q : Volterra.Qldae.t) ~input ~t1 ~samples ~full_output : rom_run =
+  let r = reduce q in
+  (* A one-sided Galerkin ROM of a nonlinear system carries no stability
+     guarantee; report a divergence instead of aborting the whole
+     harness. *)
+  let (_, output), sim_seconds =
+    timed (fun () ->
+        try simulate_output ?solver r.Mor.Atmor.rom ~input ~t0:0.0 ~t1 ~samples
+        with Ode.Types.Step_failure _ ->
+          ([||], Array.make (Array.length full_output) Float.nan))
+  in
+  let rel_error =
+    Waves.Metrics.relative_error_series ~reference:full_output ~approx:output
+  in
+  {
+    method_name;
+    order = Mor.Atmor.order r;
+    raw_moments = r.Mor.Atmor.raw_moments;
+    reduction_seconds = r.Mor.Atmor.reduction_seconds;
+    sim_seconds;
+    output;
+    rel_error;
+    max_rel_error = Array.fold_left Float.max 0.0 rel_error;
+  }
+
+let build ~id ~title ~input_desc ?solver (q : Volterra.Qldae.t) ~input ~t1
+    ~samples ~(methods : (string * (Volterra.Qldae.t -> Mor.Atmor.result)) list)
+    : t =
+  let (times, full_output), full_sim_seconds =
+    timed (fun () -> simulate_output ?solver q ~input ~t0:0.0 ~t1 ~samples)
+  in
+  let runs =
+    List.map
+      (fun (method_name, reduce) ->
+        run_reduction ~method_name ~reduce ?solver q ~input ~t1 ~samples
+          ~full_output)
+      methods
+  in
+  {
+    id;
+    title;
+    n_full = Volterra.Qldae.dim q;
+    input_desc;
+    times;
+    full_output;
+    full_sim_seconds;
+    runs;
+  }
+
+(* ---- reporting ---- *)
+
+let report ?(plots = true) ppf (e : t) =
+  Fmt.pf ppf "== %s: %s ==@." e.id e.title;
+  Fmt.pf ppf "full model: %d states, transient %.2fs; input: %s@." e.n_full
+    e.full_sim_seconds e.input_desc;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf
+        "%-10s order %3d (from %3d moment vectors)  reduce %.2fs  sim %.3fs  \
+         max rel err %.4f@."
+        r.method_name r.order r.raw_moments r.reduction_seconds r.sim_seconds
+        r.max_rel_error)
+    e.runs;
+  if plots then begin
+    let series =
+      ("Original", e.full_output)
+      :: List.map (fun r -> (r.method_name, r.output)) e.runs
+    in
+    Fmt.pf ppf "%s@."
+      (Waves.Asciiplot.render ~xs:e.times series);
+    let errors = List.map (fun r -> (r.method_name ^ " err", r.rel_error)) e.runs in
+    Fmt.pf ppf "%s@." (Waves.Asciiplot.render ~xs:e.times errors)
+  end
+
+let to_csv ~dir (e : t) =
+  let header =
+    "time" :: "original"
+    :: List.concat_map
+         (fun r -> [ r.method_name; r.method_name ^ "_relerr" ])
+         e.runs
+  in
+  let columns =
+    e.times :: e.full_output
+    :: List.concat_map (fun r -> [ r.output; r.rel_error ]) e.runs
+  in
+  let path = Filename.concat dir (e.id ^ ".csv") in
+  Waves.Csv.write ~path ~header columns;
+  path
+
+(* Paper Table 1: reduction ("Arnoldi") and transient ("ODE solve")
+   times, original vs each ROM. *)
+let table1_rows ppf (es : t list) =
+  Fmt.pf ppf "== Table 1: runtime comparison ==@.";
+  Fmt.pf ppf "%-28s %-12s %-14s %-14s@." "" "Original" "Reduced" "Reduced";
+  (match es with
+  | e0 :: _ ->
+    let names = List.map (fun r -> r.method_name) e0.runs in
+    Fmt.pf ppf "%-28s %-12s %-14s %-14s@." "" ""
+      (match names with n :: _ -> "(" ^ n ^ ")" | [] -> "")
+      (match names with _ :: n :: _ -> "(" ^ n ^ ")" | _ -> "")
+  | [] -> ());
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "%s (n=%d)@." e.title e.n_full;
+      let reduction_cells =
+        List.map
+          (fun r -> Printf.sprintf "%.2fs (q=%d)" r.reduction_seconds r.order)
+          e.runs
+      in
+      let sim_cells =
+        List.map (fun r -> Printf.sprintf "%.3fs" r.sim_seconds) e.runs
+      in
+      Fmt.pf ppf "  %-26s %-12s %s@." "reduction (\"Arnoldi\")" "--"
+        (String.concat " " (List.map (Printf.sprintf "%-14s") reduction_cells));
+      Fmt.pf ppf "  %-26s %-12s %s@." "transient (\"ODE solve\")"
+        (Printf.sprintf "%.3fs" e.full_sim_seconds)
+        (String.concat " " (List.map (Printf.sprintf "%-14s") sim_cells)))
+    es

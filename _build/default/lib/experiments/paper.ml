@@ -1,0 +1,198 @@
+(* The paper's four experiments (§3.1-3.4) and Table 1, parameterized so
+   they can run at paper scale or scaled down for smoke runs.
+
+   Moment orders follow the paper: "6 moments of H1, 3 moments of H2 and
+   2 moments of H3" (§3.1), reused in §3.2/§3.3 ("the same moment
+   matching orders"). The NLTL models expand at s0 = 1 (their augmented
+   G1 is singular at DC — DESIGN.md); the RF receiver and varistor
+   expand at s0 = 0 as in the paper. *)
+
+open La
+
+let paper_orders = { Mor.Atmor.k1 = 6; k2 = 3; k3 = 2 }
+
+let scaled_stages ~scale full = max 4 (int_of_float (float_of_int full *. scale))
+
+(* Scaled-down smoke runs shorten the ladders, so the same drive would
+   overdrive the nonlinearities (e^{40v} overflows); shrink the
+   excitation along with the model. *)
+let scaled_amp ~scale amp = amp *. Float.min 1.0 scale
+
+(* Smoke runs also shrink the moment orders when the scaled model is
+   tiny: a nearly full-order nonlinear Galerkin ROM of a small model
+   can exhibit finite-time blow-up (one-sided projection carries no
+   stability guarantee). Full orders are kept whenever the requested
+   basis stays below ~n/3. *)
+let cap_orders ~n (o : Mor.Atmor.orders) =
+  let requested = o.Mor.Atmor.k1 + o.Mor.Atmor.k2 + o.Mor.Atmor.k3 in
+  if 3 * requested <= n then o
+  else
+    {
+      Mor.Atmor.k1 = max 2 (o.Mor.Atmor.k1 / 2);
+      k2 = max 1 (o.Mor.Atmor.k2 / 2);
+      k3 = max 0 (o.Mor.Atmor.k3 / 2);
+    }
+
+(* §3.1 / Fig. 2: NLTL with voltage source (D1 term present), reduced by
+   the proposed method to ~13th order. *)
+let fig2 ?(scale = 1.0) ?(samples = 301) () : Common.t =
+  let stages = scaled_stages ~scale 50 in
+  let model = Circuit.Models.nltl_voltage ~stages () in
+  let q = Circuit.Models.qldae model in
+  let input_src =
+    Waves.Source.damped_sine ~freq:0.125 ~decay:0.08 (scaled_amp ~scale 0.8)
+  in
+  let input = Waves.Source.vectorize [ input_src ] in
+  let orders = cap_orders ~n:(Volterra.Qldae.dim q) paper_orders in
+  Common.build ~id:"fig2"
+    ~title:"NLTL, voltage source (QLDAE with D1 term)"
+    ~input_desc:"damped sine burst, amp 0.8, freq 0.125, decay 0.08" q ~input
+    ~t1:30.0 ~samples
+    ~methods:
+      [
+        (* the paper leaves the expansion point unspecified; s0 = 0.5
+           (matching the excitation bandwidth) is the best single point
+           we found *)
+        ("Proposed", fun q -> Mor.Atmor.reduce ~s0:0.5 ~orders q);
+        (* §4 extension: roughly the same budget split over two points
+           ((3,2,1) per point at the paper's (6,3,2)) *)
+        ( "Multipoint",
+          fun q ->
+            Mor.Atmor.reduce_multipoint ~points:[ 0.5; 2.0 ]
+              ~orders:
+                {
+                  Mor.Atmor.k1 = max 2 (orders.Mor.Atmor.k1 / 2);
+                  k2 = max 1 ((2 * orders.Mor.Atmor.k2) / 3);
+                  k3 = max 0 ((orders.Mor.Atmor.k3 + 1) / 2);
+                }
+              q );
+      ]
+
+(* §3.2 / Fig. 3 + Table 1 rows: NLTL with current source (no D1),
+   proposed vs NORM at the same moment orders. *)
+let fig3 ?(scale = 1.0) ?(samples = 301) () : Common.t =
+  let stages = scaled_stages ~scale 35 in
+  let model = Circuit.Models.nltl_current ~stages () in
+  let q = Circuit.Models.qldae model in
+  let input_src =
+    Waves.Source.damped_sine ~freq:0.125 ~decay:0.06 (scaled_amp ~scale 1.6)
+  in
+  let input = Waves.Source.vectorize [ input_src ] in
+  let orders = cap_orders ~n:(Volterra.Qldae.dim q) paper_orders in
+  Common.build ~id:"fig3"
+    ~title:"NLTL, current source (QLDAE without D1 term)"
+    ~input_desc:"damped sine burst, amp 1.6, freq 0.125, decay 0.06" q ~input
+    ~t1:30.0 ~samples
+    ~methods:
+      [
+        ("Proposed", fun q -> Mor.Atmor.reduce ~orders q);
+        ("NORM", fun q -> Mor.Norm.reduce ~orders q);
+      ]
+
+(* §3.3 / Fig. 4 + Table 1 rows: MISO RF receiver, signal + interfering
+   noise, proposed vs NORM. *)
+let fig4 ?(scale = 1.0) ?(samples = 201) ?(h3_triples = `All) () : Common.t =
+  let lna = scaled_stages ~scale 86 and pa = scaled_stages ~scale 87 in
+  let model = Circuit.Models.rf_receiver ~lna_stages:lna ~pa_stages:pa () in
+  let q = Circuit.Models.qldae model in
+  let signal =
+    Waves.Source.damped_sine ~freq:0.25 ~decay:0.05 (scaled_amp ~scale 1.2)
+  in
+  let noise = Waves.Source.sine ~freq:0.9 (scaled_amp ~scale 0.5) in
+  let input = Waves.Source.vectorize [ signal; noise ] in
+  let orders = cap_orders ~n:(Volterra.Qldae.dim q) paper_orders in
+  Common.build ~id:"fig4" ~title:"MISO RF receiver (signal + coupled noise)"
+    ~input_desc:"u1: damped sine amp 1.2 freq 0.25; u2: sine amp 0.5 freq 0.9"
+    (* the receiver ladders are stiff (fast per-stage RC modes); the
+       A-stable trapezoidal rule is the right transient engine *)
+    ~solver:(Volterra.Qldae.Imtrap 0.02)
+    q ~input ~t1:20.0 ~samples
+    ~methods:
+      [
+        ("Proposed", fun q -> Mor.Atmor.reduce ~h3_triples ~orders q);
+        ("NORM", fun q -> Mor.Norm.reduce ~orders q);
+      ]
+
+(* §3.4 / Fig. 5: ZnO varistor surge protection, cubic ODE, proposed
+   method only (order ~8). Voltages in units of 100 V. As in the paper's
+   Fig. 5 (UB = 200 V), the protected output rides a standing supply:
+   the model is recentred at its DC operating point (bias current chosen
+   to put the output near 200 V), the deviation system is reduced, and
+   the 9.8 kV surge arrives on top. Outputs are reported in absolute
+   volts, like the paper's lower panel. *)
+let fig5 ?(scale = 1.0) ?(samples = 301) () : Common.t =
+  let sections = scaled_stages ~scale 97 in
+  let model = Circuit.Models.varistor ~sections () in
+  let q = Circuit.Models.qldae model in
+  let bias = 22.0 in
+  let u0 = Vec.of_list [ bias ] in
+  let x0 = Volterra.Qldae.dc_operating_point q ~u0 in
+  let y0 = Vec.dot (Mat.row q.Volterra.Qldae.c 0) x0 in
+  let shifted = Volterra.Qldae.shift_equilibrium q ~x0 ~u0 in
+  let surge = Waves.Source.surge ~t_rise:0.6 ~t_fall:6.0 98.0 in
+  let t1 = 30.0 in
+  (* full model: absolute simulation from the operating point *)
+  let (times, full_dev), full_sim_seconds =
+    Common.timed (fun () ->
+        let sol =
+          Volterra.Qldae.simulate q ~x0
+            ~input:(fun t -> Vec.of_list [ bias +. surge t ])
+            ~t0:0.0 ~t1 ~samples
+        in
+        (sol.Ode.Types.times, Volterra.Qldae.output q sol))
+  in
+  let full_output = full_dev in
+  (* ROM of the recentred system; bias added back for reporting *)
+  let orders =
+    cap_orders ~n:(Volterra.Qldae.dim q) { Mor.Atmor.k1 = 6; k2 = 0; k3 = 2 }
+  in
+  let r = Mor.Atmor.reduce ~s0:0.5 ~orders shifted in
+  let output, sim_seconds =
+    Common.timed (fun () ->
+        try
+          let sol =
+            Volterra.Qldae.simulate r.Mor.Atmor.rom
+              ~input:(fun t -> Vec.of_list [ surge t ])
+              ~t0:0.0 ~t1 ~samples
+          in
+          Array.map (fun y -> y +. y0) (Volterra.Qldae.output r.Mor.Atmor.rom sol)
+        with Ode.Types.Step_failure _ ->
+          Array.make samples Float.nan)
+  in
+  let rel_error =
+    Waves.Metrics.relative_error_series ~reference:full_output ~approx:output
+  in
+  {
+    Common.id = "fig5";
+    title = "ZnO varistor surge protector (cubic ODE, 200 V standing supply)";
+    n_full = Volterra.Qldae.dim q;
+    input_desc =
+      Printf.sprintf
+        "9.8 kV double-exponential surge on a %.0f V standing output bias"
+        (100.0 *. y0);
+    times;
+    full_output;
+    full_sim_seconds;
+    runs =
+      [
+        {
+          Common.method_name = "Proposed";
+          order = Mor.Atmor.order r;
+          raw_moments = r.Mor.Atmor.raw_moments;
+          reduction_seconds = r.Mor.Atmor.reduction_seconds;
+          sim_seconds;
+          output;
+          rel_error;
+          max_rel_error = Array.fold_left Float.max 0.0 rel_error;
+        };
+      ];
+  }
+
+(* Table 1 = timing rows of the §3.2 and §3.3 experiments. *)
+let table1 ?(scale = 1.0) () : Common.t list =
+  [ fig3 ~scale (); fig4 ~scale () ]
+
+(* surge input series for Fig. 5's upper panel *)
+let fig5_input_series (e : Common.t) : float array =
+  let surge = Waves.Source.surge ~t_rise:0.6 ~t_fall:6.0 98.0 in
+  Array.map surge e.Common.times

@@ -1,0 +1,1 @@
+lib/la/clu.ml: Array Cmat Complex Cvec Lu Mat

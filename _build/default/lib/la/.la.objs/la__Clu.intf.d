@@ -1,0 +1,1 @@
+lib/la/clu.mli: Cmat Complex Cvec Mat

@@ -1,0 +1,1 @@
+lib/la/cmat.ml: Array Complex Cvec Float Fmt Mat Printf

@@ -1,0 +1,1 @@
+lib/la/expm.ml: Array Float Lu Mat Vec

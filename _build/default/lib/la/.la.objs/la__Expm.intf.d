@@ -1,0 +1,1 @@
+lib/la/expm.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/la/kron.ml: Array List Mat Vec

@@ -1,0 +1,1 @@
+lib/la/kron.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/la/ksolve.ml: Array Cmat Complex Cvec Mat Schur Vec

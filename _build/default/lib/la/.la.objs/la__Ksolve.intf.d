@@ -1,0 +1,1 @@
+lib/la/ksolve.mli: Cmat Complex Cvec Mat Schur Vec

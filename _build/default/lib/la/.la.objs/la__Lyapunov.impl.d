@@ -1,0 +1,1 @@
+lib/la/lyapunov.ml: Array Complex Float Mat Schur Sylvester

@@ -1,0 +1,1 @@
+lib/la/lyapunov.mli: Mat

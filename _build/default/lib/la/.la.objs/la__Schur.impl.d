@@ -1,0 +1,1 @@
+lib/la/schur.ml: Array Cmat Complex Cvec Float Mat

@@ -1,0 +1,1 @@
+lib/la/schur.mli: Cmat Complex Mat

@@ -1,0 +1,1 @@
+lib/la/sptensor.ml: Array Cvec Fun List Mat Vec

@@ -1,0 +1,1 @@
+lib/la/sptensor.mli: Cvec Mat Vec

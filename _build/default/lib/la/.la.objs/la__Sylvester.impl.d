@@ -1,0 +1,1 @@
+lib/la/sylvester.ml: Array Cmat Complex Cvec Float Ksolve Mat Schur Vec

@@ -1,0 +1,1 @@
+lib/la/sylvester.mli: Mat Schur

@@ -1,0 +1,1 @@
+lib/la/symeig.ml: Array Float Fun Mat Vec

@@ -1,0 +1,1 @@
+lib/la/symeig.mli: Mat Vec

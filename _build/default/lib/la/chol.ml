@@ -1,0 +1,97 @@
+(* Cholesky factorization of symmetric positive (semi-)definite
+   matrices, with a pivoted semi-definite variant for gramians (which
+   are often numerically rank-deficient). *)
+
+exception Not_positive_definite of int
+
+(* A = L Lᵀ with L lower triangular. Raises on a non-positive pivot. *)
+let factor (a : Mat.t) : Mat.t =
+  if not (Mat.is_square a) then invalid_arg "Chol.factor: not square";
+  let n = Mat.rows a in
+  let l = Mat.create n n in
+  for j = 0 to n - 1 do
+    let s = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      let ljk = Mat.get l j k in
+      s := !s -. (ljk *. ljk)
+    done;
+    if !s <= 0.0 then raise (Not_positive_definite j);
+    let ljj = sqrt !s in
+    Mat.set l j j ljj;
+    for i = j + 1 to n - 1 do
+      let s = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      Mat.set l i j (!s /. ljj)
+    done
+  done;
+  l
+
+(* Semi-definite square root: A ≈ R Rᵀ with R of size n x rank, via
+   diagonally pivoted Cholesky with tolerance. The column order of R
+   follows the pivot order (R is not triangular). *)
+let factor_semidefinite ?(tol = 1e-12) (a : Mat.t) : Mat.t =
+  if not (Mat.is_square a) then invalid_arg "Chol.factor_semidefinite";
+  let n = Mat.rows a in
+  let work = Mat.copy a in
+  let perm = Array.init n Fun.id in
+  let cols = ref [] in
+  let scale = Float.max 1e-300 (Mat.trace a /. Float.max 1.0 (float_of_int n)) in
+  (try
+     for j = 0 to n - 1 do
+       (* pick the largest remaining diagonal *)
+       let best = ref j in
+       for i = j + 1 to n - 1 do
+         if Mat.get work perm.(i) perm.(i) > Mat.get work perm.(!best) perm.(!best)
+         then best := i
+       done;
+       let t = perm.(j) in
+       perm.(j) <- perm.(!best);
+       perm.(!best) <- t;
+       let p = perm.(j) in
+       let d = Mat.get work p p in
+       if d <= tol *. scale then raise Exit;
+       let ljj = sqrt d in
+       (* column vector of the factor in original row order *)
+       let col = Vec.create n in
+       col.(p) <- ljj;
+       for i = j + 1 to n - 1 do
+         let q = perm.(i) in
+         col.(q) <- Mat.get work q p /. ljj
+       done;
+       cols := col :: !cols;
+       (* update the trailing block *)
+       for i = j + 1 to n - 1 do
+         let q = perm.(i) in
+         for k = j + 1 to n - 1 do
+           let r = perm.(k) in
+           Mat.add_to work q r (-.col.(q) *. col.(r))
+         done
+       done
+     done
+   with Exit -> ());
+  match List.rev !cols with
+  | [] -> Mat.create n 0
+  | cs -> Mat.of_cols cs
+
+(* Solve A x = b given the Cholesky factor L. *)
+let solve (l : Mat.t) (b : Vec.t) : Vec.t =
+  let n = Mat.rows l in
+  if Array.length b <> n then invalid_arg "Chol.solve: dimension";
+  let y = Vec.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get l i j *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get l j i *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  y

@@ -1,0 +1,17 @@
+(** Cholesky factorization of symmetric positive (semi-)definite
+    matrices. *)
+
+(** Raised with the failing pivot index. *)
+exception Not_positive_definite of int
+
+(** [factor a] is the lower-triangular [L] with [A = L Lᵀ]. *)
+val factor : Mat.t -> Mat.t
+
+(** Pivoted semi-definite square root: [A ≈ R Rᵀ] with [R] of size
+    [n × rank] (not triangular). Gramians are often numerically
+    rank-deficient; this is their stable factorization. Default
+    [tol = 1e-12] relative to the mean diagonal. *)
+val factor_semidefinite : ?tol:float -> Mat.t -> Mat.t
+
+(** [solve l b] solves [A x = b] given [l = factor a]. *)
+val solve : Mat.t -> Vec.t -> Vec.t

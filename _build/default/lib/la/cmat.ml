@@ -1,0 +1,199 @@
+(* Dense complex matrices in split (re/im) row-major storage. *)
+
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  {
+    rows;
+    cols;
+    re = Array.make (rows * cols) 0.0;
+    im = Array.make (rows * cols) 0.0;
+  }
+
+let dims m = (m.rows, m.cols)
+
+let rows m = m.rows
+
+let cols m = m.cols
+
+let get m i j : Complex.t =
+  let k = (i * m.cols) + j in
+  { re = m.re.(k); im = m.im.(k) }
+
+let set m i j (z : Complex.t) =
+  let k = (i * m.cols) + j in
+  m.re.(k) <- z.re;
+  m.im.(k) <- z.im
+
+let add_to m i j (z : Complex.t) =
+  let k = (i * m.cols) + j in
+  m.re.(k) <- m.re.(k) +. z.re;
+  m.im.(k) <- m.im.(k) +. z.im
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let identity n =
+  init n n (fun i j -> if i = j then Complex.one else Complex.zero)
+
+let of_real (a : Mat.t) =
+  {
+    rows = Mat.rows a;
+    cols = Mat.cols a;
+    re = Array.copy (Mat.data a);
+    im = Array.make (Mat.rows a * Mat.cols a) 0.0;
+  }
+
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let real_part (m : t) =
+  { Mat.rows = m.rows; Mat.cols = m.cols; Mat.data = Array.copy m.re }
+
+let imag_part (m : t) =
+  { Mat.rows = m.rows; Mat.cols = m.cols; Mat.data = Array.copy m.im }
+
+let check_same_dims name a b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Cmat.%s: dimension mismatch" name)
+
+let add a b =
+  check_same_dims "add" a b;
+  {
+    a with
+    re = Array.init (Array.length a.re) (fun k -> a.re.(k) +. b.re.(k));
+    im = Array.init (Array.length a.im) (fun k -> a.im.(k) +. b.im.(k));
+  }
+
+let sub a b =
+  check_same_dims "sub" a b;
+  {
+    a with
+    re = Array.init (Array.length a.re) (fun k -> a.re.(k) -. b.re.(k));
+    im = Array.init (Array.length a.im) (fun k -> a.im.(k) -. b.im.(k));
+  }
+
+let scale (alpha : Complex.t) m =
+  {
+    m with
+    re =
+      Array.init (Array.length m.re) (fun k ->
+          (alpha.re *. m.re.(k)) -. (alpha.im *. m.im.(k)));
+    im =
+      Array.init (Array.length m.im) (fun k ->
+          (alpha.re *. m.im.(k)) +. (alpha.im *. m.re.(k)));
+  }
+
+(* Conjugate transpose. *)
+let adjoint m =
+  init m.cols m.rows (fun i j -> Complex.conj (get m j i))
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Cmat.mul: inner dimension mismatch";
+  let c = create a.rows b.cols in
+  let n = a.cols and p = b.cols in
+  for i = 0 to a.rows - 1 do
+    let arow = i * n and crow = i * p in
+    for k = 0 to n - 1 do
+      let ar = a.re.(arow + k) and ai = a.im.(arow + k) in
+      if ar <> 0.0 || ai <> 0.0 then begin
+        let brow = k * p in
+        for j = 0 to p - 1 do
+          let br = b.re.(brow + j) and bi = b.im.(brow + j) in
+          c.re.(crow + j) <- c.re.(crow + j) +. (ar *. br) -. (ai *. bi);
+          c.im.(crow + j) <- c.im.(crow + j) +. (ar *. bi) +. (ai *. br)
+        done
+      end
+    done
+  done;
+  c
+
+let mul_vec m (v : Cvec.t) : Cvec.t =
+  if m.cols <> Cvec.dim v then invalid_arg "Cmat.mul_vec: dimension mismatch";
+  let out = Cvec.create m.rows in
+  for i = 0 to m.rows - 1 do
+    let row = i * m.cols in
+    let sre = ref 0.0 and sim = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      let ar = m.re.(row + j) and ai = m.im.(row + j) in
+      sre := !sre +. (ar *. v.re.(j)) -. (ai *. v.im.(j));
+      sim := !sim +. (ar *. v.im.(j)) +. (ai *. v.re.(j))
+    done;
+    out.re.(i) <- !sre;
+    out.im.(i) <- !sim
+  done;
+  out
+
+(* Adjoint action A^H v without forming A^H. *)
+let mul_vec_adjoint m (v : Cvec.t) : Cvec.t =
+  if m.rows <> Cvec.dim v then
+    invalid_arg "Cmat.mul_vec_adjoint: dimension mismatch";
+  let out = Cvec.create m.cols in
+  for i = 0 to m.rows - 1 do
+    let row = i * m.cols in
+    let vr = v.re.(i) and vi = v.im.(i) in
+    if vr <> 0.0 || vi <> 0.0 then
+      for j = 0 to m.cols - 1 do
+        (* conj(a_ij) * v_i *)
+        let ar = m.re.(row + j) and ai = m.im.(row + j) in
+        out.re.(j) <- out.re.(j) +. (ar *. vr) +. (ai *. vi);
+        out.im.(j) <- out.im.(j) +. (ar *. vi) -. (ai *. vr)
+      done
+  done;
+  out
+
+let norm_fro m =
+  let s = ref 0.0 in
+  for k = 0 to Array.length m.re - 1 do
+    s := !s +. (m.re.(k) *. m.re.(k)) +. (m.im.(k) *. m.im.(k))
+  done;
+  sqrt !s
+
+let max_abs m =
+  let best = ref 0.0 in
+  for k = 0 to Array.length m.re - 1 do
+    let a = Float.hypot m.re.(k) m.im.(k) in
+    if a > !best then best := a
+  done;
+  !best
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && norm_fro (sub a b) <= tol *. (1.0 +. norm_fro a)
+
+let col m j = Cvec.init m.rows (fun i -> get m i j)
+
+let set_col m j (v : Cvec.t) =
+  for i = 0 to m.rows - 1 do
+    set m i j (Cvec.get v i)
+  done
+
+(* shift the diagonal: m + sigma I *)
+let add_diag m (sigma : Complex.t) =
+  if m.rows <> m.cols then invalid_arg "Cmat.add_diag: not square";
+  let out = copy m in
+  for i = 0 to m.rows - 1 do
+    add_to out i i sigma
+  done;
+  out
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Fmt.pf ppf "[@[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Fmt.pf ppf ",@ ";
+      let z = get m i j in
+      Fmt.pf ppf "%8.3g%+8.3gi" z.re z.im
+    done;
+    Fmt.pf ppf "@]]";
+    if i < m.rows - 1 then Fmt.cut ppf ()
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,80 @@
+(* Matrix exponential by scaling-and-squaring with a [13/13] Padé
+   approximant (Higham 2005, fixed top degree). Accuracy is ample for the
+   test oracles (variational responses, Kronecker-sum identities) that
+   use it. *)
+
+let pade13_theta = 5.371920351148152
+
+let coeffs =
+  [|
+    64764752532480000.0;
+    32382376266240000.0;
+    7771770303897600.0;
+    1187353796428800.0;
+    129060195264000.0;
+    10559470521600.0;
+    670442572800.0;
+    33522128640.0;
+    1323241920.0;
+    40840800.0;
+    960960.0;
+    16380.0;
+    182.0;
+    1.0;
+  |]
+
+let expm (a : Mat.t) : Mat.t =
+  if not (Mat.is_square a) then invalid_arg "Expm.expm: matrix not square";
+  let n = Mat.rows a in
+  if n = 0 then Mat.create 0 0
+  else begin
+    let norm = Mat.norm1 a in
+    let s =
+      if norm <= pade13_theta then 0
+      else int_of_float (Float.ceil (Float.log2 (norm /. pade13_theta)))
+    in
+    let a = if s > 0 then Mat.scale (1.0 /. Float.pow 2.0 (float_of_int s)) a else a in
+    let id = Mat.identity n in
+    let a2 = Mat.mul a a in
+    let a4 = Mat.mul a2 a2 in
+    let a6 = Mat.mul a2 a4 in
+    (* u = A (A6 (c13 A6 + c11 A4 + c9 A2) + c7 A6 + c5 A4 + c3 A2 + c1 I) *)
+    let w1 =
+      Mat.add
+        (Mat.scale coeffs.(13) a6)
+        (Mat.add (Mat.scale coeffs.(11) a4) (Mat.scale coeffs.(9) a2))
+    in
+    let w2 =
+      Mat.add
+        (Mat.scale coeffs.(7) a6)
+        (Mat.add
+           (Mat.scale coeffs.(5) a4)
+           (Mat.add (Mat.scale coeffs.(3) a2) (Mat.scale coeffs.(1) id)))
+    in
+    let u = Mat.mul a (Mat.add (Mat.mul a6 w1) w2) in
+    (* v = A6 (c12 A6 + c10 A4 + c8 A2) + c6 A6 + c4 A4 + c2 A2 + c0 I *)
+    let z1 =
+      Mat.add
+        (Mat.scale coeffs.(12) a6)
+        (Mat.add (Mat.scale coeffs.(10) a4) (Mat.scale coeffs.(8) a2))
+    in
+    let z2 =
+      Mat.add
+        (Mat.scale coeffs.(6) a6)
+        (Mat.add
+           (Mat.scale coeffs.(4) a4)
+           (Mat.add (Mat.scale coeffs.(2) a2) (Mat.scale coeffs.(0) id)))
+    in
+    let v = Mat.add (Mat.mul a6 z1) z2 in
+    (* r = (v - u)^-1 (v + u), then square s times. *)
+    let r = Lu.solve_mat_system (Mat.sub v u) (Mat.add v u) in
+    let result = ref r in
+    for _ = 1 to s do
+      result := Mat.mul !result !result
+    done;
+    !result
+  end
+
+(* Action of the exponential on a vector without forming e^A: truncated
+   Taylor series with scaling, adequate for small test systems. *)
+let expm_vec (a : Mat.t) (v : Vec.t) : Vec.t = Mat.mul_vec (expm a) v

@@ -1,0 +1,10 @@
+(** Matrix exponential by scaling-and-squaring with a [13/13] Padé
+    approximant. Used as the time-domain oracle when verifying the
+    paper's Theorem 1 ([e^(A ⊕ B) = e^A ⊗ e^B]) and when computing exact
+    linear-system responses in tests. *)
+
+(** [expm a] is [e^a] for a square matrix. *)
+val expm : Mat.t -> Mat.t
+
+(** [expm_vec a v] is [e^a v]. *)
+val expm_vec : Mat.t -> Vec.t -> Vec.t

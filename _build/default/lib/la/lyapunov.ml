@@ -1,0 +1,44 @@
+(* Continuous-time Lyapunov equations A P + P Aᵀ + Q = 0 (via the
+   Bartels-Stewart Sylvester solver) and Hankel singular values — the
+   "measure inherent to linear MOR" the paper's §4 suggests for
+   automatic moment-order selection. *)
+
+(* Solve A P + P Aᵀ + Q = 0 for stable A (symmetric Q gives symmetric
+   P). *)
+let solve ~(a : Mat.t) ~(q : Mat.t) : Mat.t =
+  let p = Sylvester.solve ~a ~b:(Mat.neg (Mat.transpose a)) ~c:(Mat.neg q) in
+  (* symmetrize (numerical dust) *)
+  Mat.scale 0.5 (Mat.add p (Mat.transpose p))
+
+(* Controllability gramian: A P + P Aᵀ + B Bᵀ = 0. *)
+let controllability ~(a : Mat.t) ~(b : Mat.t) : Mat.t =
+  solve ~a ~q:(Mat.mul b (Mat.transpose b))
+
+(* Observability gramian: Aᵀ Q + Q A + Cᵀ C = 0. *)
+let observability ~(a : Mat.t) ~(c : Mat.t) : Mat.t =
+  solve ~a:(Mat.transpose a) ~q:(Mat.mul (Mat.transpose c) c)
+
+(* Hankel singular values: sqrt of the eigenvalues of P Q. The product
+   of two symmetric PSD matrices has real non-negative spectrum; we read
+   it off the complex Schur diagonal and clip rounding noise. *)
+let hankel_singular_values ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) :
+    float array =
+  let p = controllability ~a ~b in
+  let q = observability ~a ~c in
+  let eigs = Schur.eigenvalues (Schur.decompose (Mat.mul p q)) in
+  let svs =
+    Array.map (fun (z : Complex.t) -> sqrt (Float.max 0.0 z.re)) eigs
+  in
+  Array.sort (fun x y -> compare y x) svs;
+  svs
+
+(* Number of Hankel singular values above [tol] relative to the largest
+   — a principled reduced-order suggestion for an LTI system. *)
+let suggested_order ?(tol = 1e-6) ~a ~b ~c () =
+  let svs = hankel_singular_values ~a ~b ~c in
+  if Array.length svs = 0 || svs.(0) = 0.0 then 0
+  else begin
+    let count = ref 0 in
+    Array.iter (fun s -> if s > tol *. svs.(0) then incr count) svs;
+    !count
+  end

@@ -1,0 +1,21 @@
+(** Continuous-time Lyapunov equations and Hankel singular values — the
+    "measure inherent to linear MOR" the paper's §4 suggests for
+    automatic moment-order selection. Dense, via the Bartels–Stewart
+    Sylvester solver; intended for the moderate sizes of this library's
+    systems. *)
+
+(** Solve [A P + P Aᵀ + Q = 0] for stable [A]. *)
+val solve : a:Mat.t -> q:Mat.t -> Mat.t
+
+(** Controllability gramian [A P + P Aᵀ + B Bᵀ = 0]. *)
+val controllability : a:Mat.t -> b:Mat.t -> Mat.t
+
+(** Observability gramian [Aᵀ Q + Q A + Cᵀ C = 0]. *)
+val observability : a:Mat.t -> c:Mat.t -> Mat.t
+
+(** Hankel singular values (descending). *)
+val hankel_singular_values : a:Mat.t -> b:Mat.t -> c:Mat.t -> float array
+
+(** Count of Hankel singular values above [tol] (relative to the
+    largest). Default [tol = 1e-6]. *)
+val suggested_order : ?tol:float -> a:Mat.t -> b:Mat.t -> c:Mat.t -> unit -> int

@@ -1,0 +1,201 @@
+(* Householder QR, thin-Q extraction, least squares, and the
+   deflating orthonormalization used to assemble MOR projection bases. *)
+
+type t = {
+  qr : Mat.t; (* Householder vectors below the diagonal, R on/above *)
+  betas : float array; (* Householder scalars *)
+  m : int;
+  n : int;
+}
+
+(* Householder reflector for column [col] of [a] starting at row [k]:
+   returns beta and stores the essential part of v in-place. *)
+let factor a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  let qr = Mat.copy a in
+  let betas = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* norm of a[k..m-1, k] *)
+    let s = ref 0.0 in
+    for i = k to m - 1 do
+      let x = Mat.get qr i k in
+      s := !s +. (x *. x)
+    done;
+    let normx = sqrt !s in
+    if normx > 0.0 then begin
+      let akk = Mat.get qr k k in
+      let alpha = if akk >= 0.0 then -.normx else normx in
+      (* v = x - alpha e1, normalized so v.(k) = 1 *)
+      let v0 = akk -. alpha in
+      if v0 <> 0.0 then begin
+        for i = k + 1 to m - 1 do
+          Mat.set qr i k (Mat.get qr i k /. v0)
+        done;
+        betas.(k) <- -.v0 /. alpha;
+        Mat.set qr k k alpha;
+        (* Apply H = I - beta v v^T to the remaining columns. *)
+        for j = k + 1 to n - 1 do
+          let dotv = ref (Mat.get qr k j) in
+          for i = k + 1 to m - 1 do
+            dotv := !dotv +. (Mat.get qr i k *. Mat.get qr i j)
+          done;
+          let coef = betas.(k) *. !dotv in
+          Mat.add_to qr k j (-.coef);
+          for i = k + 1 to m - 1 do
+            Mat.add_to qr i j (-.coef *. Mat.get qr i k)
+          done
+        done
+      end
+    end
+  done;
+  { qr; betas; m; n }
+
+let r t =
+  Mat.init t.n t.n (fun i j -> if j >= i then Mat.get t.qr i j else 0.0)
+
+(* Apply Q (product of Householder reflectors) to a vector: y = Q x,
+   where x has length m. Q = H_0 H_1 ... H_{n-1}. *)
+let apply_q t (x : Vec.t) : Vec.t =
+  let y = Vec.copy x in
+  for k = t.n - 1 downto 0 do
+    if t.betas.(k) <> 0.0 then begin
+      let dotv = ref y.(k) in
+      for i = k + 1 to t.m - 1 do
+        dotv := !dotv +. (Mat.get t.qr i k *. y.(i))
+      done;
+      let coef = t.betas.(k) *. !dotv in
+      y.(k) <- y.(k) -. coef;
+      for i = k + 1 to t.m - 1 do
+        y.(i) <- y.(i) -. (coef *. Mat.get t.qr i k)
+      done
+    end
+  done;
+  y
+
+let apply_qt t (x : Vec.t) : Vec.t =
+  let y = Vec.copy x in
+  for k = 0 to t.n - 1 do
+    if t.betas.(k) <> 0.0 then begin
+      let dotv = ref y.(k) in
+      for i = k + 1 to t.m - 1 do
+        dotv := !dotv +. (Mat.get t.qr i k *. y.(i))
+      done;
+      let coef = t.betas.(k) *. !dotv in
+      y.(k) <- y.(k) -. coef;
+      for i = k + 1 to t.m - 1 do
+        y.(i) <- y.(i) -. (coef *. Mat.get t.qr i k)
+      done
+    end
+  done;
+  y
+
+let thin_q t =
+  let q = Mat.create t.m t.n in
+  for j = 0 to t.n - 1 do
+    Mat.set_col q j (apply_q t (Vec.basis t.m j))
+  done;
+  q
+
+(* Least squares: minimize ||A x - b||_2 via QR. *)
+let solve_ls t (b : Vec.t) : Vec.t =
+  if Array.length b <> t.m then invalid_arg "Qr.solve_ls: dimension mismatch";
+  let qtb = apply_qt t b in
+  let x = Vec.create t.n in
+  for i = t.n - 1 downto 0 do
+    let s = ref qtb.(i) in
+    for j = i + 1 to t.n - 1 do
+      s := !s -. (Mat.get t.qr i j *. x.(j))
+    done;
+    let rii = Mat.get t.qr i i in
+    if rii = 0.0 then raise (Lu.Singular i);
+    x.(i) <- !s /. rii
+  done;
+  x
+
+let least_squares a b = solve_ls (factor a) b
+
+(* Orthonormalize a list of vectors with modified Gram-Schmidt plus one
+   reorthogonalization pass, dropping (deflating) vectors whose
+   remaining component falls below [tol] relative to their original norm.
+   This is the basis builder for MOR projection matrices, where moment
+   vectors are often nearly linearly dependent. *)
+let orthonormalize ?(tol = 1e-10) (vs : Vec.t list) : Vec.t list =
+  let basis = ref [] in
+  let project_out v =
+    List.iter
+      (fun q ->
+        let c = Vec.dot q v in
+        Vec.axpy ~alpha:(-.c) q v)
+      (List.rev !basis)
+  in
+  List.iter
+    (fun v0 ->
+      let v = Vec.copy v0 in
+      let norm0 = Vec.norm2 v in
+      if norm0 > 0.0 then begin
+        project_out v;
+        (* Second pass: cures loss of orthogonality when the first
+           projection removes most of the vector. *)
+        project_out v;
+        let n = Vec.norm2 v in
+        if n > tol *. norm0 && n > 1e-300 then begin
+          Vec.scale_inplace (1.0 /. n) v;
+          basis := v :: !basis
+        end
+      end)
+    vs;
+  List.rev !basis
+
+let orth_mat ?tol (vs : Vec.t list) = Mat.of_cols (orthonormalize ?tol vs)
+
+(* Numerical rank via QR with column pivoting on a copy. *)
+let rank ?(tol = 1e-10) a =
+  let m = Mat.rows a and n = Mat.cols a in
+  let w = Mat.copy a in
+  let rank = ref 0 in
+  let norm0 = Mat.norm_fro a in
+  if norm0 = 0.0 then 0
+  else begin
+    (try
+       for k = 0 to min m n - 1 do
+         (* pivot column with the largest remaining norm *)
+         let best = ref k and bestn = ref 0.0 in
+         for j = k to n - 1 do
+           let s = ref 0.0 in
+           for i = k to m - 1 do
+             let x = Mat.get w i j in
+             s := !s +. (x *. x)
+           done;
+           if !s > !bestn then begin
+             bestn := !s;
+             best := j
+           end
+         done;
+         if sqrt !bestn <= tol *. norm0 then raise Exit;
+         if !best <> k then
+           for i = 0 to m - 1 do
+             let t = Mat.get w i k in
+             Mat.set w i k (Mat.get w i !best);
+             Mat.set w i !best t
+           done;
+         (* eliminate below pivot using a Householder-ish projection:
+            just Gram-Schmidt the remaining columns against column k *)
+         let nk = sqrt !bestn in
+         for i = k to m - 1 do
+           Mat.set w i k (Mat.get w i k /. nk)
+         done;
+         for j = k + 1 to n - 1 do
+           let d = ref 0.0 in
+           for i = k to m - 1 do
+             d := !d +. (Mat.get w i k *. Mat.get w i j)
+           done;
+           for i = k to m - 1 do
+             Mat.add_to w i j (-. !d *. Mat.get w i k)
+           done
+         done;
+         incr rank
+       done
+     with Exit -> ());
+    !rank
+  end

@@ -1,0 +1,267 @@
+(* Complex Schur decomposition A = U T U^H (T upper triangular, U
+   unitary) via Householder-Hessenberg reduction followed by explicit
+   single-shift (Wilkinson) QR iteration with deflation.
+
+   We use the *complex* Schur form even for real input: the triangular T
+   makes the Kronecker-sum tensor back-substitutions in {!Ksolve} scalar
+   (the real Schur form would need 2x2-block solves throughout). *)
+
+type t = { u : Cmat.t; (* unitary *) t : Cmat.t (* upper triangular *) }
+
+let max_sweeps_per_eig = 60
+
+(* Complex Givens rotation G = [[c, s], [-conj s, c]] with real c >= 0
+   such that G [a; b] = [r; 0]. *)
+let givens (a : Complex.t) (b : Complex.t) =
+  let na = Complex.norm a and nb = Complex.norm b in
+  if nb = 0.0 then (1.0, Complex.zero)
+  else if na = 0.0 then (0.0, { Complex.re = 1.0; im = 0.0 })
+  else begin
+    let r = Float.hypot na nb in
+    let c = na /. r in
+    (* s = (a/|a|) * conj(b) / r *)
+    let alpha = Complex.div a { re = na; im = 0.0 } in
+    let s =
+      Complex.div (Complex.mul alpha (Complex.conj b)) { re = r; im = 0.0 }
+    in
+    (c, s)
+  end
+
+(* Left-apply the rotation to rows (i, i+1) of [m] over columns
+   [jlo..jhi]. *)
+let rot_rows (m : Cmat.t) i (c, (s : Complex.t)) ~jlo ~jhi =
+  let n = Cmat.cols m in
+  let re = m.Cmat.re and im = m.Cmat.im in
+  let r1 = i * n and r2 = (i + 1) * n in
+  for j = jlo to jhi do
+    let xr = re.(r1 + j) and xi = im.(r1 + j) in
+    let yr = re.(r2 + j) and yi = im.(r2 + j) in
+    (* new x = c x + s y *)
+    re.(r1 + j) <- (c *. xr) +. (s.re *. yr) -. (s.im *. yi);
+    im.(r1 + j) <- (c *. xi) +. (s.re *. yi) +. (s.im *. yr);
+    (* new y = -conj(s) x + c y *)
+    re.(r2 + j) <- (c *. yr) -. ((s.re *. xr) +. (s.im *. xi));
+    im.(r2 + j) <- (c *. yi) -. ((s.re *. xi) -. (s.im *. xr))
+  done
+
+(* Right-apply the adjoint rotation G^H to columns (j, j+1) of [m] over
+   rows [ilo..ihi]: new col_j = c col_j + conj(s) col_{j+1},
+   new col_{j+1} = -s col_j + c col_{j+1}. *)
+let rot_cols (m : Cmat.t) j (c, (s : Complex.t)) ~ilo ~ihi =
+  let n = Cmat.cols m in
+  let re = m.Cmat.re and im = m.Cmat.im in
+  for i = ilo to ihi do
+    let base = i * n in
+    let xr = re.(base + j) and xi = im.(base + j) in
+    let yr = re.(base + j + 1) and yi = im.(base + j + 1) in
+    re.(base + j) <- (c *. xr) +. (s.re *. yr) +. (s.im *. yi);
+    im.(base + j) <- (c *. xi) +. (s.re *. yi) -. (s.im *. yr);
+    re.(base + j + 1) <- (c *. yr) -. ((s.re *. xr) -. (s.im *. xi));
+    im.(base + j + 1) <- (c *. yi) -. ((s.re *. xi) +. (s.im *. xr))
+  done
+
+(* Hessenberg reduction by complex Householder reflectors, accumulating
+   the unitary transform into [u]. *)
+let hessenberg (h : Cmat.t) (u : Cmat.t) =
+  let n = Cmat.rows h in
+  for k = 0 to n - 3 do
+    (* Reflector zeroing h[k+2 .. n-1, k]. *)
+    let normx =
+      let s = ref 0.0 in
+      for i = k + 1 to n - 1 do
+        let z = Cmat.get h i k in
+        s := !s +. (z.re *. z.re) +. (z.im *. z.im)
+      done;
+      sqrt !s
+    in
+    if normx > 0.0 then begin
+      let x1 = Cmat.get h (k + 1) k in
+      let n1 = Complex.norm x1 in
+      let alpha =
+        if n1 = 0.0 then { Complex.re = normx; im = 0.0 }
+        else Complex.mul (Complex.div x1 { re = n1; im = 0.0 })
+               { re = normx; im = 0.0 }
+      in
+      (* v = x + alpha e1 *)
+      let v = Cvec.create (n - k - 1) in
+      for i = k + 1 to n - 1 do
+        Cvec.set v (i - k - 1) (Cmat.get h i k)
+      done;
+      Cvec.set v 0 (Complex.add (Cvec.get v 0) alpha);
+      let vnorm2 =
+        let s = ref 0.0 in
+        for i = 0 to Cvec.dim v - 1 do
+          s := !s +. (v.Cvec.re.(i) *. v.Cvec.re.(i))
+               +. (v.Cvec.im.(i) *. v.Cvec.im.(i))
+        done;
+        !s
+      in
+      if vnorm2 > 0.0 then begin
+        let beta = 2.0 /. vnorm2 in
+        (* Left: rows k+1..n-1, all columns j = k..n-1:
+           col_j -= beta * v * (v^H col_j). *)
+        for j = k to n - 1 do
+          let dr = ref 0.0 and di = ref 0.0 in
+          for i = 0 to Cvec.dim v - 1 do
+            let z = Cmat.get h (k + 1 + i) j in
+            (* conj(v_i) * z *)
+            dr := !dr +. (v.Cvec.re.(i) *. z.re) +. (v.Cvec.im.(i) *. z.im);
+            di := !di +. (v.Cvec.re.(i) *. z.im) -. (v.Cvec.im.(i) *. z.re)
+          done;
+          let dr = beta *. !dr and di = beta *. !di in
+          for i = 0 to Cvec.dim v - 1 do
+            let z = Cmat.get h (k + 1 + i) j in
+            let vr = v.Cvec.re.(i) and vi = v.Cvec.im.(i) in
+            Cmat.set h (k + 1 + i) j
+              {
+                re = z.re -. ((vr *. dr) -. (vi *. di));
+                im = z.im -. ((vr *. di) +. (vi *. dr));
+              }
+          done
+        done;
+        (* Right: columns k+1..n-1, all rows: row_i -= beta (row_i . v)
+           v^H, i.e. m <- m - beta (m v) v^H. *)
+        let apply_right (m : Cmat.t) =
+          let rows = Cmat.rows m in
+          for i = 0 to rows - 1 do
+            let dr = ref 0.0 and di = ref 0.0 in
+            for l = 0 to Cvec.dim v - 1 do
+              let z = Cmat.get m i (k + 1 + l) in
+              (* z * v_l *)
+              dr := !dr +. (z.re *. v.Cvec.re.(l)) -. (z.im *. v.Cvec.im.(l));
+              di := !di +. (z.re *. v.Cvec.im.(l)) +. (z.im *. v.Cvec.re.(l))
+            done;
+            let dr = beta *. !dr and di = beta *. !di in
+            for l = 0 to Cvec.dim v - 1 do
+              let z = Cmat.get m i (k + 1 + l) in
+              (* z - d * conj(v_l) *)
+              let vr = v.Cvec.re.(l) and vi = -.v.Cvec.im.(l) in
+              Cmat.set m i (k + 1 + l)
+                {
+                  re = z.re -. ((dr *. vr) -. (di *. vi));
+                  im = z.im -. ((dr *. vi) +. (di *. vr));
+                }
+            done
+          done
+        in
+        apply_right h;
+        apply_right u
+      end
+    end;
+    (* Clean the column below the subdiagonal to exact zeros. *)
+    for i = k + 2 to n - 1 do
+      Cmat.set h i k Complex.zero
+    done
+  done
+
+(* Wilkinson shift from the trailing 2x2 of the active block. *)
+let wilkinson_shift (h : Cmat.t) hi =
+  let a = Cmat.get h (hi - 1) (hi - 1)
+  and b = Cmat.get h (hi - 1) hi
+  and c = Cmat.get h hi (hi - 1)
+  and d = Cmat.get h hi hi in
+  let two = { Complex.re = 2.0; im = 0.0 } in
+  let mean = Complex.div (Complex.add a d) two in
+  let half_diff = Complex.div (Complex.sub a d) two in
+  let disc = Complex.sqrt (Complex.add (Complex.mul half_diff half_diff) (Complex.mul b c)) in
+  let l1 = Complex.add mean disc and l2 = Complex.sub mean disc in
+  if Complex.norm (Complex.sub l1 d) <= Complex.norm (Complex.sub l2 d) then l1
+  else l2
+
+let subdiag_negligible (h : Cmat.t) i =
+  let eps = 4.0 *. epsilon_float in
+  let s =
+    Complex.norm (Cmat.get h i i) +. Complex.norm (Cmat.get h (i + 1) (i + 1))
+  in
+  let s = if s = 0.0 then Cmat.norm_fro h else s in
+  Complex.norm (Cmat.get h (i + 1) i) <= eps *. s
+
+let qr_iterate (h : Cmat.t) (u : Cmat.t) =
+  let n = Cmat.rows h in
+  let hi = ref (n - 1) in
+  let iter_since_deflation = ref 0 in
+  let total_budget = max_sweeps_per_eig * max n 1 in
+  let total = ref 0 in
+  while !hi > 0 do
+    (* Deflate converged subdiagonals at the bottom. *)
+    while !hi > 0 && subdiag_negligible h (!hi - 1) do
+      Cmat.set h !hi (!hi - 1) Complex.zero;
+      decr hi;
+      iter_since_deflation := 0
+    done;
+    if !hi > 0 then begin
+      (* Find the start of the active block. *)
+      let lo = ref !hi in
+      while !lo > 0 && not (subdiag_negligible h (!lo - 1)) do
+        decr lo
+      done;
+      if !lo > 0 then Cmat.set h !lo (!lo - 1) Complex.zero;
+      let lo = !lo in
+      incr total;
+      incr iter_since_deflation;
+      if !total > total_budget then
+        failwith "Schur: QR iteration failed to converge";
+      let mu =
+        if !iter_since_deflation mod 12 = 0 then begin
+          (* Exceptional ad-hoc shift to break limit cycles. *)
+          let m =
+            Complex.norm (Cmat.get h !hi (!hi - 1))
+            +.
+            if !hi >= 2 then Complex.norm (Cmat.get h (!hi - 1) (!hi - 2))
+            else 0.0
+          in
+          { Complex.re = 1.5 *. m; im = 0.0 }
+        end
+        else wilkinson_shift h !hi
+      in
+      (* Explicit shifted QR sweep on rows/cols lo..hi. *)
+      for i = lo to !hi do
+        Cmat.add_to h i i (Complex.neg mu)
+      done;
+      let rots = Array.make (!hi - lo) (1.0, Complex.zero) in
+      for i = lo to !hi - 1 do
+        let g = givens (Cmat.get h i i) (Cmat.get h (i + 1) i) in
+        rots.(i - lo) <- g;
+        rot_rows h i g ~jlo:i ~jhi:(n - 1)
+      done;
+      for i = lo to !hi - 1 do
+        let g = rots.(i - lo) in
+        rot_cols h i g ~ilo:0 ~ihi:(min (i + 1) !hi);
+        rot_cols u i g ~ilo:0 ~ihi:(n - 1)
+      done;
+      for i = lo to !hi do
+        Cmat.add_to h i i mu
+      done
+    end
+  done;
+  (* Zero out the strictly lower triangle (numerical dust). *)
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      Cmat.set h i j Complex.zero
+    done
+  done
+
+let decompose_complex (a : Cmat.t) : t =
+  if Cmat.rows a <> Cmat.cols a then invalid_arg "Schur: matrix not square";
+  let n = Cmat.rows a in
+  let h = Cmat.copy a in
+  let u = Cmat.identity n in
+  if n > 1 then begin
+    hessenberg h u;
+    qr_iterate h u
+  end;
+  { u; t = h }
+
+let decompose (a : Mat.t) : t = decompose_complex (Cmat.of_real a)
+
+let unitary t = t.u
+
+let triangular t = t.t
+
+let eigenvalues t = Array.init (Cmat.rows t.t) (fun i -> Cmat.get t.t i i)
+
+let reconstruct t = Cmat.mul t.u (Cmat.mul t.t (Cmat.adjoint t.u))
+
+let residual ~(a : Mat.t) t =
+  let r = Cmat.sub (reconstruct t) (Cmat.of_real a) in
+  Cmat.norm_fro r /. (1.0 +. Mat.norm_fro a)

@@ -1,0 +1,32 @@
+(** Complex Schur decomposition [A = U T U^H] with [T] upper triangular
+    and [U] unitary.
+
+    This is the paper's §2.3 acceleration in complex form: one Schur
+    factorization of [G1] makes every shifted Kronecker-sum solve
+    [(σI − ⊕^k G1)^{-1} v] a triangular tensor back-substitution (see
+    {!Ksolve}) — the key to computing associated-transform moments
+    without materializing [n²]- or [n³]-dimensional matrices. *)
+
+type t
+
+(** Schur form of a real square matrix. Raises [Failure] if the QR
+    iteration fails to converge (pathological inputs). *)
+val decompose : Mat.t -> t
+
+(** Schur form of a complex square matrix. *)
+val decompose_complex : Cmat.t -> t
+
+(** The unitary factor [U]. *)
+val unitary : t -> Cmat.t
+
+(** The upper-triangular factor [T]. *)
+val triangular : t -> Cmat.t
+
+(** Eigenvalues (the diagonal of [T]). *)
+val eigenvalues : t -> Complex.t array
+
+(** [U T U^H], for testing. *)
+val reconstruct : t -> Cmat.t
+
+(** Relative Frobenius residual [‖U T U^H − A‖/(1+‖A‖)]. *)
+val residual : a:Mat.t -> t -> float

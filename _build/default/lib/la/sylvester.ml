@@ -1,0 +1,163 @@
+(* Bartels-Stewart Sylvester solvers.
+
+   Generic: A X - X B = C for dense A (n x n) and B (m x m).
+
+   Specialized (paper eq. 18): G1 Π + G2 = Π (⊕² G1), i.e.
+   A = G1, B = ⊕² G1, C = -G2 — where B is n² x n² but its Schur form is
+   inherited from G1's, so the solve costs O(n^4) and never builds B. *)
+
+(* Triangular solve (T - mu I) x = b with T upper triangular complex. *)
+let shifted_tri_solve (t : Cmat.t) (mu : Complex.t) (b : Cvec.t) : Cvec.t =
+  let n = Cmat.rows t in
+  let x = Cvec.copy b in
+  let tre = t.Cmat.re and tim = t.Cmat.im in
+  for i = n - 1 downto 0 do
+    let ar = ref x.Cvec.re.(i) and ai = ref x.Cvec.im.(i) in
+    for j = i + 1 to n - 1 do
+      let cr = tre.((i * n) + j) and ci = tim.((i * n) + j) in
+      if cr <> 0.0 || ci <> 0.0 then begin
+        ar := !ar -. ((cr *. x.Cvec.re.(j)) -. (ci *. x.Cvec.im.(j)));
+        ai := !ai -. ((cr *. x.Cvec.im.(j)) +. (ci *. x.Cvec.re.(j)))
+      end
+    done;
+    let dr = tre.((i * n) + i) -. mu.re and di = tim.((i * n) + i) -. mu.im in
+    let dm = (dr *. dr) +. (di *. di) in
+    if dm < 1e-300 then raise (Ksolve.Near_singular (sqrt dm));
+    x.Cvec.re.(i) <- ((!ar *. dr) +. (!ai *. di)) /. dm;
+    x.Cvec.im.(i) <- ((!ai *. dr) -. (!ar *. di)) /. dm
+  done;
+  x
+
+(* Generic dense Sylvester: A X - X B = C. Solvable iff the spectra of A
+   and B are disjoint. *)
+let solve ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) : Mat.t =
+  let n = Mat.rows a and m = Mat.rows b in
+  if Mat.cols a <> n || Mat.cols b <> m then
+    invalid_arg "Sylvester.solve: A, B must be square";
+  if Mat.rows c <> n || Mat.cols c <> m then
+    invalid_arg "Sylvester.solve: C dimension mismatch";
+  let sa = Schur.decompose a and sb = Schur.decompose b in
+  let ua = Schur.unitary sa and ta = Schur.triangular sa in
+  let ub = Schur.unitary sb and tb = Schur.triangular sb in
+  (* C~ = Ua^H C Ub *)
+  let chat = Cmat.mul (Cmat.adjoint ua) (Cmat.mul (Cmat.of_real c) ub) in
+  (* Ta Y - Y Tb = C~, column by column. *)
+  let y = Cmat.create n m in
+  for j = 0 to m - 1 do
+    let rhs = Cmat.col chat j in
+    for i = 0 to j - 1 do
+      Cvec.axpy ~alpha:(Cmat.get tb i j) (Cmat.col y i) rhs
+    done;
+    let yj = shifted_tri_solve ta (Cmat.get tb j j) rhs in
+    Cmat.set_col y j yj
+  done;
+  let x = Cmat.mul ua (Cmat.mul y (Cmat.adjoint ub)) in
+  let imag = Mat.norm_fro (Cmat.imag_part x) in
+  if imag > 1e-6 *. (1.0 +. Cmat.norm_fro x) then
+    failwith "Sylvester.solve: non-negligible imaginary residue";
+  Cmat.real_part x
+
+(* Pi from G1 Pi + G2 = Pi (⊕² G1) given the Schur factorization of G1
+   directly. *)
+let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
+  let u = Schur.unitary schur and t = Schur.triangular schur in
+  let n = Cmat.rows u in
+  if Mat.rows g2 <> n || Mat.cols g2 <> n * n then
+    invalid_arg "Sylvester.solve_pi_schur: G2 must be n x n^2";
+  (* Solvability needs lambda_i != lambda_j + lambda_k for all triples
+     (paper §2.3). Quadratized diode circuits violate it structurally
+     (their augmented G1 has zero eigenvalues, and 0 = 0 + 0). *)
+  let eigs = Schur.eigenvalues schur in
+  let scale =
+    Array.fold_left (fun acc z -> Float.max acc (Complex.norm z)) 1e-30 eigs
+  in
+  Array.iteri
+    (fun i li ->
+      Array.iteri
+        (fun j lj ->
+          Array.iteri
+            (fun k lk ->
+              ignore (i, j, k);
+              let gap = Complex.norm (Complex.sub li (Complex.add lj lk)) in
+              if gap < 1e-10 *. scale then raise (Ksolve.Near_singular gap))
+            eigs)
+        eigs)
+    eigs;
+  let m = n * n in
+  let ut = Cmat.transpose u in
+  let uconj = Cmat.init n n (fun i j -> Complex.conj (Cmat.get u i j)) in
+  (* C = -G2;  C~ = U^H C (U ⊗ U).
+     Row r of (C (U⊗U)) is (U⊗U)ᵀ c_r = (Uᵀ⊗Uᵀ) c_r: two mode
+     multiplies by Uᵀ. *)
+  let chat_rows =
+    Array.init n (fun r ->
+        let crow = Cvec.of_real (Vec.init m (fun j -> -.Mat.get g2 r j)) in
+        let w = Ksolve.mode_mul ~n ~k:2 ~m:0 ut crow in
+        Ksolve.mode_mul ~n ~k:2 ~m:1 ut w)
+  in
+  (* then left-multiply by U^H: chat[i, j] = sum_r conj(U[r,i]) rows[r][j] *)
+  let chat = Cmat.create n m in
+  for r = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let urc = Complex.conj (Cmat.get u r i) in
+      if urc.re <> 0.0 || urc.im <> 0.0 then
+        for j = 0 to m - 1 do
+          Cmat.add_to chat i j
+            (Complex.mul urc (Cvec.get chat_rows.(r) j))
+        done
+    done
+  done;
+  (* T Y - Y (⊕²T) = C~: flat column index j = (j1, j2) ascending is a
+     valid triangular order. Off-diagonal column entries of ⊕²T at
+     (i1, j2) for i1 < j1 with coefficient T[i1,j1], and (j1, i2) for
+     i2 < j2 with coefficient T[i2,j2]. *)
+  let y = Cmat.create n m in
+  let ycol = Array.init m (fun _ -> None) in
+  for j = 0 to m - 1 do
+    let j1 = j / n and j2 = j mod n in
+    let rhs = Cmat.col chat j in
+    for i1 = 0 to j1 - 1 do
+      let coef = Cmat.get t i1 j1 in
+      if coef.re <> 0.0 || coef.im <> 0.0 then
+        match ycol.((i1 * n) + j2) with
+        | Some c -> Cvec.axpy ~alpha:coef c rhs
+        | None -> ()
+    done;
+    for i2 = 0 to j2 - 1 do
+      let coef = Cmat.get t i2 j2 in
+      if coef.re <> 0.0 || coef.im <> 0.0 then
+        match ycol.((j1 * n) + i2) with
+        | Some c -> Cvec.axpy ~alpha:coef c rhs
+        | None -> ()
+    done;
+    let mu = Complex.add (Cmat.get t j1 j1) (Cmat.get t j2 j2) in
+    let col = shifted_tri_solve t mu rhs in
+    ycol.(j) <- Some col;
+    Cmat.set_col y j col
+  done;
+  (* Pi = U Y (U ⊗ U)^H: row r of Y (U⊗U)^H is conj(U⊗U) y_r. *)
+  let pirows =
+    Array.init n (fun r ->
+        let yrow = Cvec.init m (fun j -> Cmat.get y r j) in
+        let w = Ksolve.mode_mul ~n ~k:2 ~m:0 uconj yrow in
+        Ksolve.mode_mul ~n ~k:2 ~m:1 uconj w)
+  in
+  let pi = Cmat.create n m in
+  for r = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let uir = Cmat.get u i r in
+      if uir.re <> 0.0 || uir.im <> 0.0 then
+        for j = 0 to m - 1 do
+          Cmat.add_to pi i j (Complex.mul uir (Cvec.get pirows.(r) j))
+        done
+    done
+  done;
+  let imag = Mat.norm_fro (Cmat.imag_part pi) in
+  if imag > 1e-5 *. (1.0 +. Cmat.norm_fro pi) then
+    failwith "Sylvester.solve_pi_schur: non-negligible imaginary residue";
+  Cmat.real_part pi
+
+(* Residual ‖A X - X B - C‖_F / (1 + ‖C‖_F), for tests. *)
+let residual ~a ~b ~c ~x =
+  let r = Mat.sub (Mat.sub (Mat.mul a x) (Mat.mul x b)) c in
+  Mat.norm_fro r /. (1.0 +. Mat.norm_fro c)

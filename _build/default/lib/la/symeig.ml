@@ -1,0 +1,79 @@
+(* Symmetric eigendecomposition by the cyclic Jacobi rotation method:
+   A = V D Vᵀ with orthogonal V. Slower than tridiagonalization + QL but
+   simple, robust, and accurate to machine precision — ample for the
+   gramian-sized problems of balanced truncation. *)
+
+type t = { values : Vec.t; vectors : Mat.t (* columns are eigenvectors *) }
+
+let max_sweeps = 60
+
+let decompose (a0 : Mat.t) : t =
+  if not (Mat.is_square a0) then invalid_arg "Symeig.decompose: not square";
+  if not (Mat.is_symmetric ~tol:(1e-10 *. (1.0 +. Mat.max_abs a0)) a0) then
+    invalid_arg "Symeig.decompose: not symmetric";
+  let n = Mat.rows a0 in
+  let a = Mat.scale 0.5 (Mat.add a0 (Mat.transpose a0)) in
+  let v = Mat.identity n in
+  let off_norm () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let x = Mat.get a i j in
+        s := !s +. (2.0 *. x *. x)
+      done
+    done;
+    sqrt !s
+  in
+  let scale = Float.max 1e-300 (Mat.norm_fro a) in
+  let sweeps = ref 0 in
+  while off_norm () > 1e-14 *. scale && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get a p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.get a p p and aqq = Mat.get a q q in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if theta >= 0.0 then 1.0 else -1.0 in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* rotate rows/cols p, q of a *)
+          for k = 0 to n - 1 do
+            let akp = Mat.get a k p and akq = Mat.get a k q in
+            Mat.set a k p ((c *. akp) -. (s *. akq));
+            Mat.set a k q ((s *. akp) +. (c *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.get a p k and aqk = Mat.get a q k in
+            Mat.set a p k ((c *. apk) -. (s *. aqk));
+            Mat.set a q k ((s *. apk) +. (c *. aqk))
+          done;
+          (* accumulate the rotation *)
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  if !sweeps >= max_sweeps then failwith "Symeig: Jacobi failed to converge";
+  { values = Mat.diagonal a; vectors = v }
+
+(* Eigenpairs sorted by descending eigenvalue. *)
+let decompose_sorted (a : Mat.t) : t =
+  let { values; vectors } = decompose a in
+  let n = Array.length values in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> compare values.(j) values.(i)) order;
+  {
+    values = Vec.init n (fun i -> values.(order.(i)));
+    vectors = Mat.init n n (fun i j -> Mat.get vectors i order.(j));
+  }
+
+let reconstruct { values; vectors } =
+  Mat.mul vectors (Mat.mul (Mat.diag values) (Mat.transpose vectors))

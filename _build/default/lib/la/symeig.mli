@@ -1,0 +1,15 @@
+(** Symmetric eigendecomposition [A = V D Vᵀ] by the cyclic Jacobi
+    rotation method — simple, robust, machine-precision accurate; ample
+    for the gramian-sized problems of balanced truncation. *)
+
+type t = { values : Vec.t; vectors : Mat.t (** columns *) }
+
+(** Raises [Invalid_argument] on non-symmetric input, [Failure] if the
+    sweeps do not converge. *)
+val decompose : Mat.t -> t
+
+(** Eigenpairs sorted by descending eigenvalue. *)
+val decompose_sorted : Mat.t -> t
+
+(** [V D Vᵀ], for tests. *)
+val reconstruct : t -> Mat.t

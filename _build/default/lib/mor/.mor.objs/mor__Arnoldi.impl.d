@@ -1,0 +1,1 @@
+lib/mor/arnoldi.ml: Array La Lu Mat Vec

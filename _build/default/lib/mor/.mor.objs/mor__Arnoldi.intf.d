@@ -1,0 +1,1 @@
+lib/mor/arnoldi.mli: La Mat Vec

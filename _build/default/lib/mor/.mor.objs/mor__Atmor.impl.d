@@ -1,0 +1,1 @@
+lib/mor/atmor.ml: Array Assoc Kron Ksolve La List Lu Mat Qldae Qr Schur Sptensor Sylvester Unix Vec Volterra

@@ -1,0 +1,1 @@
+lib/mor/atmor.mli: La Mat Qldae Volterra

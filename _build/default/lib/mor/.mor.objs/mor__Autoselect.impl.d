@@ -1,0 +1,1 @@
+lib/mor/autoselect.ml: Array Assoc Atmor Complex La List Lyapunov Mat Qldae Schur Unix Vec Volterra

@@ -1,0 +1,1 @@
+lib/mor/autoselect.mli: Atmor Qldae Volterra

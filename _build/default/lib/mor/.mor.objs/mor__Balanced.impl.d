@@ -1,0 +1,1 @@
+lib/mor/balanced.ml: Array Chol Complex Float La Lyapunov Mat Qldae Schur Symeig Vec Volterra

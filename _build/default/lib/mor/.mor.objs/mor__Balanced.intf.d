@@ -1,0 +1,1 @@
+lib/mor/balanced.mli: La Qldae Volterra

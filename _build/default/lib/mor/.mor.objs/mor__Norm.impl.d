@@ -1,0 +1,1 @@
+lib/mor/norm.ml: Array Assoc Atmor La List Lu Mat Option Qldae Qr Sptensor Unix Vec Volterra

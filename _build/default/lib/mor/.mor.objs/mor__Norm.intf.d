@@ -1,0 +1,1 @@
+lib/mor/norm.mli: Atmor Qldae Volterra

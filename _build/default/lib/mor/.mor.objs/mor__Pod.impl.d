@@ -1,0 +1,1 @@
+lib/mor/pod.ml: Array Atmor Float La List Mat Ode Qldae Qr Symeig Unix Vec Volterra

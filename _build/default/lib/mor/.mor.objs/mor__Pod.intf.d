@@ -1,0 +1,1 @@
+lib/mor/pod.mli: Atmor La Mat Qldae Vec Volterra

@@ -1,0 +1,1 @@
+lib/mor/tpwl.ml: Array Float La List Mat Ode Qldae Qr Vec Volterra

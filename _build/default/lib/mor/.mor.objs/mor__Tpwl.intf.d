@@ -1,0 +1,1 @@
+lib/mor/tpwl.mli: La Mat Ode Qldae Vec Volterra

@@ -1,0 +1,61 @@
+(* Arnoldi iteration with modified Gram-Schmidt and one
+   reorthogonalization pass. Produces an orthonormal basis of the Krylov
+   subspace K_k(A, b) = span{b, Ab, ..., A^{k-1} b} and the associated
+   Hessenberg matrix. The operator is a closure, so the same code serves
+   A, A^{-1} (via a factored solve) and shifted variants. *)
+
+open La
+
+type result = {
+  v : Mat.t;  (* n x j orthonormal basis, j <= k *)
+  h : Mat.t;  (* (j+1) x j Hessenberg (last row = residual norms) *)
+  breakdown : bool;  (* true if the subspace became invariant before k *)
+}
+
+let run ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k : result =
+  if k < 1 then invalid_arg "Arnoldi.run: k must be >= 1";
+  let n = Array.length b in
+  let nb = Vec.norm2 b in
+  if nb = 0.0 then invalid_arg "Arnoldi.run: zero start vector";
+  let vs = Array.make (k + 1) [||] in
+  vs.(0) <- Vec.scale (1.0 /. nb) b;
+  let h = Mat.create (k + 1) k in
+  let j = ref 0 in
+  let breakdown = ref false in
+  (try
+     while !j < k do
+       let w = matvec vs.(!j) in
+       (* MGS with one reorthogonalization pass; h accumulates the total
+          projection over both passes *)
+       for _pass = 0 to 1 do
+         for i = 0 to !j do
+           let c = Vec.dot vs.(i) w in
+           Mat.add_to h i !j c;
+           Vec.axpy ~alpha:(-.c) vs.(i) w
+         done
+       done;
+       let nw = Vec.norm2 w in
+       Mat.set h (!j + 1) !j nw;
+       if nw <= 1e-12 *. (1.0 +. nb) then begin
+         breakdown := true;
+         incr j;
+         raise Exit
+       end;
+       vs.(!j + 1) <- Vec.scale (1.0 /. nw) w;
+       incr j
+     done
+   with Exit -> ());
+  let cols = min !j k in
+  let v = Mat.create n cols in
+  for c = 0 to cols - 1 do
+    Mat.set_col v c vs.(c)
+  done;
+  { v; h = Mat.submatrix h ~row:0 ~col:0 ~rows:(cols + 1) ~cols; breakdown = !breakdown }
+
+(* Krylov basis of K_k((s0 I - A)^-1, (s0 I - A)^-1 b) — the
+   moment-matching subspace of an LTI system about s0. *)
+let shifted_krylov ~(a : Mat.t) ~(b : Vec.t) ~s0 ~k : result =
+  let n = Mat.rows a in
+  let m = Mat.sub (Mat.scale s0 (Mat.identity n)) a in
+  let lu = Lu.factor m in
+  run ~matvec:(Lu.solve lu) ~b:(Lu.solve lu b) ~k

@@ -1,0 +1,17 @@
+(** Arnoldi iteration with modified Gram–Schmidt and one
+    reorthogonalization pass. *)
+
+open La
+
+type result = {
+  v : Mat.t;  (** [n × j] orthonormal Krylov basis, [j ≤ k] *)
+  h : Mat.t;  (** [(j+1) × j] Hessenberg projection *)
+  breakdown : bool;  (** the subspace became invariant before [k] *)
+}
+
+(** Basis of [K_k(A, b)] for the operator given as a closure. *)
+val run : matvec:(Vec.t -> Vec.t) -> b:Vec.t -> k:int -> result
+
+(** Basis of [K_k((s0 I − A)⁻¹, (s0 I − A)⁻¹ b)] — the moment-matching
+    subspace of an LTI system about [s0]. *)
+val shifted_krylov : a:Mat.t -> b:Vec.t -> s0:float -> k:int -> result

@@ -1,0 +1,57 @@
+(** AT-NMOR — the paper's proposed nonlinear MOR via associated
+    transforms of the high-order Volterra transfer functions.
+
+    Moment vectors of the single-[s] associated [H1(s)], [H2(s)],
+    [H3(s)] about one expansion point are stacked and orthonormalized
+    (with deflation) into the projection basis, so preserving
+    [k1/k2/k3] moments costs [O(k1+k2+k3)] basis vectors — against
+    [O(k1 + k2³ + k3⁴)] for multivariate matching ({!Norm}). *)
+
+open La
+open Volterra
+
+type orders = { k1 : int; k2 : int; k3 : int }
+(** How many moments of each transfer-function order to preserve. *)
+
+type result = {
+  basis : Mat.t;  (** [n × q] orthonormal projection matrix *)
+  rom : Qldae.t;  (** reduced-order model of dimension [q] *)
+  orders : orders;
+  s0 : float;  (** expansion point used *)
+  raw_moments : int;  (** moment vectors generated before deflation *)
+  reduction_seconds : float;
+      (** moment generation + projection wall time — the "Arnoldi" row
+          of the paper's Table 1 *)
+}
+
+(** Reduced order [q]. *)
+val order : result -> int
+
+(** Reduce by associated-transform moment matching. [s0] defaults as in
+    {!Volterra.Assoc.create}; [tol] is the deflation threshold;
+    [h3_triples] selects MISO third-order coverage (default [`All]). *)
+val reduce :
+  ?s0:float ->
+  ?tol:float ->
+  ?h3_triples:[ `All | `Diagonal ] ->
+  orders:orders ->
+  Qldae.t ->
+  result
+
+(** Multipoint expansion (paper §4, third bullet): union of the moment
+    subspaces generated at each expansion point in [points]. The
+    reported [s0] is the first point. *)
+val reduce_multipoint :
+  ?tol:float ->
+  ?h3_triples:[ `All | `Diagonal ] ->
+  points:float list ->
+  orders:orders ->
+  Qldae.t ->
+  result
+
+(** Ablation of the paper's eq. (18): generate the second-order moments
+    from the two Sylvester-decoupled branches
+    [(sI−G1)⁻¹(d − Πw) + Π(sI−⊕²G1)⁻¹w] instead of the block
+    realization. SISO only; densifies [G2], so use on moderate [n]. *)
+val reduce_sylvester :
+  ?s0:float -> ?tol:float -> orders:orders -> Qldae.t -> result

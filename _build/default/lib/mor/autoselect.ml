@@ -1,0 +1,145 @@
+(* Automatic moment-order selection (the paper's §4, first bullet:
+   "automatic selection of moment numbers in H1(s), H2(s), H3(s) etc.
+   can utilize the Hankel singular values or similar measure inherent to
+   linear MOR, in contrast to the ad hoc order choice in NORM").
+
+   Two mechanisms are provided:
+
+   - {!suggest_k1}: Hankel-singular-value count of the (stable) linear
+     subsystem (G1, b, c) — the classical linear-MOR measure. Only
+     meaningful when G1 is Hurwitz (quadratized diode circuits have a
+     structurally singular G1; see DESIGN.md).
+
+   - {!reduce}: deflation-driven growth. Moments of each associated
+     transfer function are appended in increasing order and the series
+     for one transfer order stops as soon as its next moment vector no
+     longer adds a direction (orthogonal residual below [growth_tol]) —
+     the subspace angle playing the role of the singular-value
+     threshold. This works for singular-G1 systems too and needs no
+     n²-sized gramians. *)
+
+open La
+open Volterra
+
+type selection = {
+  result : Atmor.result;
+  chosen : Atmor.orders;  (* orders actually kept *)
+}
+
+let suggest_k1 ?(tol = 1e-6) (q : Qldae.t) : int option =
+  let g1 = q.Qldae.g1 in
+  let eigs = Schur.eigenvalues (Schur.decompose g1) in
+  let stable = Array.for_all (fun (z : Complex.t) -> z.re < -1e-9) eigs in
+  if not stable then None
+  else
+    Some (Lyapunov.suggested_order ~tol ~a:g1 ~b:q.Qldae.b ~c:q.Qldae.c ())
+
+(* Incremental orthonormal basis: add a vector, report whether it
+   contributed a new direction. *)
+let add_to_basis ~tol basis (v : Vec.t) =
+  let v = Vec.copy v in
+  let norm0 = Vec.norm2 v in
+  if norm0 = 0.0 then false
+  else begin
+    let project_out () =
+      List.iter
+        (fun u ->
+          let c = Vec.dot u v in
+          Vec.axpy ~alpha:(-.c) u v)
+        !basis
+    in
+    project_out ();
+    project_out ();
+    let n = Vec.norm2 v in
+    if n > tol *. norm0 then begin
+      Vec.scale_inplace (1.0 /. n) v;
+      basis := v :: !basis;
+      true
+    end
+    else false
+  end
+
+let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 = 3 })
+    ?(h3_triples = `All) (q : Qldae.t) : selection =
+  let t_start = Unix.gettimeofday () in
+  let eng = Assoc.create ?s0 q in
+  let basis = ref [] in
+  let raw = ref 0 in
+  (* Grow one transfer order: [moments k] returns the k-th step's moment
+     vectors (one per input combination); stop when a whole step adds
+     nothing. *)
+  let grow ~kmax (moments_upto : k:int -> Vec.t list list) =
+    (* moments_upto returns, for depth k, the list of per-combination
+       series (each of length k); we consume them incrementally *)
+    if kmax = 0 then 0
+    else begin
+      let series = moments_upto ~k:kmax in
+      let chosen = ref 0 in
+      (try
+         for step = 0 to kmax - 1 do
+           let any_fresh = ref false in
+           List.iter
+             (fun s ->
+               if step < List.length s then begin
+                 incr raw;
+                 if add_to_basis ~tol:growth_tol basis (List.nth s step) then
+                   any_fresh := true
+               end)
+             series;
+           if not !any_fresh then raise Exit;
+           chosen := step + 1
+         done
+       with Exit -> ());
+      !chosen
+    end
+  in
+  let m = Qldae.n_inputs q in
+  let k1 =
+    grow ~kmax:max_orders.Atmor.k1 (fun ~k ->
+        let all = Assoc.h1_moments eng ~k in
+        (* split per input: h1_moments returns k vectors per input,
+           consecutively *)
+        List.init m (fun i ->
+            List.filteri (fun j _ -> j / k = i) all))
+  in
+  let k2 =
+    if Qldae.has_g2 q || Qldae.has_d1 q then
+      grow ~kmax:max_orders.Atmor.k2 (fun ~k ->
+          List.map
+            (fun (a, b) -> Assoc.h2_moment_series eng ~k (a, b))
+            (List.concat
+               (List.init m (fun a -> List.init (m - a) (fun i -> (a, a + i))))))
+    else 0
+  in
+  let k3 =
+    if Qldae.has_g2 q || Qldae.has_g3 q || Qldae.has_d1 q then
+      grow ~kmax:max_orders.Atmor.k3 (fun ~k ->
+          let triples =
+            match h3_triples with
+            | `Diagonal -> List.init m (fun a -> (a, a, a))
+            | `All ->
+              List.concat
+                (List.init m (fun a ->
+                     List.concat
+                       (List.init (m - a) (fun i ->
+                            List.init (m - a - i) (fun j ->
+                                (a, a + i, a + i + j))))))
+          in
+          List.map (fun t3 -> Assoc.h3_moment_series eng ~k t3) triples)
+    else 0
+  in
+  let v = Mat.of_cols (List.rev !basis) in
+  let rom = Qldae.project q v in
+  let chosen = { Atmor.k1; k2; k3 } in
+  {
+    result =
+      {
+        Atmor.basis = v;
+        rom;
+        orders = chosen;
+        s0 = Assoc.s0 eng;
+        raw_moments = !raw;
+        reduction_seconds = Unix.gettimeofday () -. t_start;
+      };
+    chosen;
+  }

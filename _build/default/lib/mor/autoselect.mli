@@ -1,0 +1,33 @@
+(** Automatic moment-order selection — the paper's §4 first bullet:
+    replace NORM's ad-hoc order choice with "Hankel singular values or
+    a similar measure inherent to linear MOR".
+
+    {!suggest_k1} uses genuine Hankel singular values of the linear
+    subsystem (needs a Hurwitz [G1]); {!reduce} grows every moment
+    series until its next vector stops contributing a new direction to
+    the projection subspace (the subspace angle as the singular-value
+    proxy), which also works for the structurally singular [G1] of
+    quadratized diode circuits. *)
+
+open Volterra
+
+type selection = {
+  result : Atmor.result;
+  chosen : Atmor.orders;  (** orders the growth actually kept *)
+}
+
+(** Hankel-SV-suggested linear order, or [None] when [G1] is not
+    Hurwitz. *)
+val suggest_k1 : ?tol:float -> Qldae.t -> int option
+
+(** Deflation-driven reduction: grow [k1], then [k2], then [k3] up to
+    [max_orders] (default [{k1=12; k2=6; k3=3}]), stopping each series
+    when a whole moment step adds no direction above [growth_tol]
+    (default [1e-7]). *)
+val reduce :
+  ?s0:float ->
+  ?growth_tol:float ->
+  ?max_orders:Atmor.orders ->
+  ?h3_triples:[ `All | `Diagonal ] ->
+  Qldae.t ->
+  selection

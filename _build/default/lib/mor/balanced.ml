@@ -1,0 +1,84 @@
+(* Square-root balanced truncation (Moore / Laub; the "guaranteed
+   passive balancing" lineage of the paper's ref [11]) for the linear
+   subsystem, extended to QLDAEs by applying the balancing projectors to
+   the full nonlinear model — essentially the Phillips-style projection
+   NMOR the paper cites as ref [10], with balanced instead of Krylov
+   subspaces.
+
+   Algorithm: P = R Rᵀ, Q = S Sᵀ (pivoted semi-definite Cholesky of the
+   gramians); the SVD of Sᵀ R — obtained from the symmetric
+   eigendecomposition of (SᵀR)ᵀ(SᵀR) — gives Hankel singular values Σ
+   and the bi-orthogonal projectors
+
+     V = R V₁ Σ^{-1/2},   W = S U₁ Σ^{-1/2},   Wᵀ V = I. *)
+
+open La
+open Volterra
+
+type result = {
+  rom : Qldae.t;
+  v : Mat.t;  (* trial basis *)
+  w : Mat.t;  (* test basis *)
+  hsv : float array;  (* all Hankel singular values, descending *)
+  order : int;
+}
+
+exception Unstable_linear_part
+
+let check_stable (g1 : Mat.t) =
+  let eigs = Schur.eigenvalues (Schur.decompose g1) in
+  if not (Array.for_all (fun (z : Complex.t) -> z.re < 0.0) eigs) then
+    raise Unstable_linear_part
+
+(* SVD of a (small) dense matrix M = U Σ Vᵀ via symmetric
+   eigendecompositions; only singular values above [tol] * largest are
+   kept. *)
+let thin_svd ?(tol = 1e-10) (m : Mat.t) : Mat.t * float array * Mat.t =
+  let mtm = Mat.mul (Mat.transpose m) m in
+  let { Symeig.values; vectors } = Symeig.decompose_sorted mtm in
+  let smax = sqrt (Float.max 0.0 values.(0)) in
+  let rank = ref 0 in
+  Array.iter
+    (fun lam -> if sqrt (Float.max 0.0 lam) > tol *. smax then incr rank)
+    values;
+  let rank = !rank in
+  let sigma = Array.init rank (fun i -> sqrt (Float.max 0.0 values.(i))) in
+  let v1 = Mat.submatrix vectors ~row:0 ~col:0 ~rows:(Mat.rows vectors) ~cols:rank in
+  (* U = M V Σ^-1 *)
+  let u = Mat.mul m v1 in
+  for j = 0 to rank - 1 do
+    for i = 0 to Mat.rows u - 1 do
+      Mat.set u i j (Mat.get u i j /. sigma.(j))
+    done
+  done;
+  (u, sigma, v1)
+
+let reduce ?(order : int option) ?(tol = 1e-8) (q : Qldae.t) : result =
+  check_stable q.Qldae.g1;
+  let a = q.Qldae.g1 and b = q.Qldae.b and c = q.Qldae.c in
+  let p = Lyapunov.controllability ~a ~b in
+  let qg = Lyapunov.observability ~a ~c in
+  let r = Chol.factor_semidefinite p in
+  let s = Chol.factor_semidefinite qg in
+  if Mat.cols r = 0 || Mat.cols s = 0 then
+    failwith "Balanced.reduce: zero gramian (uncontrollable or unobservable)";
+  let u, sigma, v1 = thin_svd (Mat.mul (Mat.transpose s) r) in
+  let kmax = Array.length sigma in
+  let k =
+    match order with
+    | Some k -> min k kmax
+    | None ->
+      let count = ref 0 in
+      Array.iter (fun s -> if s > tol *. sigma.(0) then incr count) sigma;
+      !count
+  in
+  if k = 0 then failwith "Balanced.reduce: nothing above tolerance";
+  let take m cols = Mat.submatrix m ~row:0 ~col:0 ~rows:(Mat.rows m) ~cols in
+  let u1 = take u k and v1 = take v1 k in
+  let sincv =
+    Mat.diag (Vec.init k (fun i -> 1.0 /. sqrt sigma.(i)))
+  in
+  let v = Mat.mul r (Mat.mul v1 sincv) in
+  let w = Mat.mul s (Mat.mul u1 sincv) in
+  let rom = Qldae.project_petrov q ~w ~v in
+  { rom; v; w; hsv = sigma; order = k }

@@ -1,0 +1,16 @@
+(** NORM baseline (Li & Pileggi DAC'03): projection NMOR by multivariate
+    moment matching of [H2(s1,s2)], [H3(s1,s2,s3)] — the
+    "dimensionality-cursed" method the paper compares against. Matching
+    the same [k1/k2/k3] moments as {!Atmor} requires
+    [O(k1 + k2³ + k3⁴)] spanning vectors and correspondingly larger
+    reduced models. *)
+
+open Volterra
+
+type result = Atmor.result
+
+val order : result -> int
+
+(** Reduce by multivariate moment matching at the same expansion point
+    convention as {!Atmor.reduce}. *)
+val reduce : ?s0:float -> ?tol:float -> orders:Atmor.orders -> Qldae.t -> result

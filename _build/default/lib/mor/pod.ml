@@ -1,0 +1,62 @@
+(* Snapshot POD (proper orthogonal decomposition) Galerkin reduction —
+   the third classical NMOR family, alongside moment matching and
+   balancing. Like TPWL it is trajectory-trained (and shares its
+   training-input dependence), but it keeps the full polynomial QLDAE
+   structure instead of piecewise-linear blending, so it remains exact
+   in form and only approximate in subspace. *)
+
+open La
+open Volterra
+
+(* Leading POD modes of a snapshot set by the method of snapshots:
+   eigenvectors of the (small) Gram matrix. *)
+let pod_basis ?(energy = 0.99999999) ?(max_modes = 40) (snapshots : Vec.t list) :
+    Mat.t =
+  let snaps = Array.of_list snapshots in
+  let m = Array.length snaps in
+  if m = 0 then invalid_arg "Pod.pod_basis: no snapshots";
+  let gram =
+    Mat.init m m (fun i j -> Vec.dot snaps.(i) snaps.(j) /. float_of_int m)
+  in
+  let { Symeig.values; vectors } = Symeig.decompose_sorted gram in
+  let total = Array.fold_left (fun a v -> a +. Float.max 0.0 v) 0.0 values in
+  let keep = ref 0 and acc = ref 0.0 in
+  while
+    !keep < m && !keep < max_modes
+    && (!acc < energy *. total || !keep = 0)
+    && values.(!keep) > 1e-14 *. total
+  do
+    acc := !acc +. values.(!keep);
+    incr keep
+  done;
+  let modes =
+    List.init !keep (fun k ->
+        let mode = Vec.create (Array.length snaps.(0)) in
+        for i = 0 to m - 1 do
+          Vec.axpy ~alpha:(Mat.get vectors i k) snaps.(i) mode
+        done;
+        mode)
+  in
+  Qr.orth_mat modes
+
+type result = Atmor.result
+
+(* Train on a trajectory of the full model and Galerkin-project the
+   QLDAE onto the snapshot subspace. *)
+let reduce ?(energy = 0.99999999) ?(max_modes = 40) (q : Qldae.t)
+    ~(input : float -> Vec.t) ~t0 ~t1 ~samples : result =
+  let t_start = Unix.gettimeofday () in
+  let sol = Qldae.simulate q ~input ~t0 ~t1 ~samples in
+  let snapshots = Array.to_list sol.Ode.Types.states in
+  (* include the input directions so the forced response is never
+     orthogonal to the basis *)
+  let basis = pod_basis ~energy ~max_modes (Mat.cols_list q.Qldae.b @ snapshots) in
+  let rom = Qldae.project q basis in
+  {
+    Atmor.basis;
+    rom;
+    orders = { Atmor.k1 = 0; k2 = 0; k3 = 0 };
+    s0 = Float.nan;
+    raw_moments = List.length snapshots;
+    reduction_seconds = Unix.gettimeofday () -. t_start;
+  }

@@ -1,0 +1,28 @@
+(** Snapshot POD (proper orthogonal decomposition) Galerkin reduction —
+    the third classical NMOR family next to moment matching ({!Atmor},
+    {!Norm}) and balancing ({!Balanced}). Trajectory-trained like
+    {!Tpwl}, but keeps the exact polynomial QLDAE structure. *)
+
+open La
+open Volterra
+
+(** Leading POD modes of a snapshot set (method of snapshots), keeping
+    the given energy fraction (default [1 − 1e-8] — nonlinear ROMs need
+    far more energy than the folklore 99.99 %) up to [max_modes]. *)
+val pod_basis : ?energy:float -> ?max_modes:int -> Vec.t list -> Mat.t
+
+type result = Atmor.result
+
+(** Simulate the full model on a training input and project the QLDAE
+    onto the snapshot subspace. In the returned record, [orders] is all
+    zeros and [s0] is [nan] (POD has neither); [raw_moments] counts the
+    snapshots. *)
+val reduce :
+  ?energy:float ->
+  ?max_modes:int ->
+  Qldae.t ->
+  input:(float -> Vec.t) ->
+  t0:float ->
+  t1:float ->
+  samples:int ->
+  result

@@ -1,0 +1,172 @@
+(* Trajectory piecewise-linear (TPWL) reduction — Rewienski & White,
+   the paper's ref [14] and the strongly-nonlinear alternative its
+   introduction contrasts against ("also suffers from training input
+   sequence dependence", which the ablation benches demonstrate).
+
+   Pipeline:
+   1. simulate the full model on a *training* input, collecting
+      snapshots;
+   2. pick linearization points greedily along the trajectory (a new
+      point whenever the state strays [delta] — relative to the
+      trajectory's own scale — from every existing point);
+   3. linearize the QLDAE right-hand side at each point,
+      f(x) ≈ f(xi) + Ai (x - xi);
+   4. project everything onto the orthonormalized snapshot basis
+      (POD-style) truncated at [basis_tol];
+   5. the ROM blends the reduced linear models with the standard
+      exponential distance weights. *)
+
+open La
+open Volterra
+
+type piece = {
+  center : Vec.t;  (* reduced coordinates of the linearization point *)
+  a_r : Mat.t;  (* reduced Jacobian *)
+  f_r : Vec.t;  (* reduced affine term f(xi) - Ai xi *)
+}
+
+type t = {
+  basis : Mat.t;
+  pieces : piece array;
+  b_r : Mat.t;
+  c_r : Mat.t;
+  d1_r : Mat.t array;
+  beta : float;  (* weight sharpness *)
+  n_full : int;
+}
+
+let order (t : t) = Mat.cols t.basis
+
+let n_pieces (t : t) = Array.length t.pieces
+
+let train ?(delta = 0.1) ?(basis_tol = 1e-6) ?(max_basis = 40) ?(beta = 25.0)
+    (q : Qldae.t) ~(input : float -> Vec.t) ~t0 ~t1 ~samples : t =
+  let sol = Qldae.simulate q ~input ~t0 ~t1 ~samples in
+  let snapshots = Array.to_list sol.Ode.Types.states in
+  (* trajectory scale for the distance threshold *)
+  let scale =
+    List.fold_left (fun acc x -> Float.max acc (Vec.norm2 x)) 1e-12 snapshots
+  in
+  (* greedy linearization-point selection *)
+  let points = ref [] in
+  List.iter
+    (fun x ->
+      let far =
+        List.for_all
+          (fun p -> Vec.dist2 x p > delta *. scale)
+          !points
+      in
+      if far || !points = [] then points := x :: !points)
+    snapshots;
+  let points = Array.of_list (List.rev !points) in
+  (* POD-style basis: snapshots (and the origin's input direction) *)
+  let candidates =
+    Mat.cols_list q.Qldae.b @ snapshots
+  in
+  let basis_list = Qr.orthonormalize ~tol:basis_tol candidates in
+  let basis_list =
+    if List.length basis_list > max_basis then
+      List.filteri (fun i _ -> i < max_basis) basis_list
+    else basis_list
+  in
+  let v = Mat.of_cols basis_list in
+  let vt = Mat.transpose v in
+  let u0 = Vec.create (Qldae.n_inputs q) in
+  let pieces =
+    Array.map
+      (fun xi ->
+        let ai = Qldae.jacobian q xi u0 in
+        let fi = Qldae.rhs q xi u0 in
+        let affine = Vec.sub fi (Mat.mul_vec ai xi) in
+        {
+          center = Mat.mul_vec vt xi;
+          a_r = Mat.mul vt (Mat.mul ai v);
+          f_r = Mat.mul_vec vt affine;
+        })
+      points
+  in
+  {
+    basis = v;
+    pieces;
+    b_r = Mat.mul vt q.Qldae.b;
+    c_r = Mat.mul q.Qldae.c v;
+    d1_r = Array.map (fun d -> Mat.mul vt (Mat.mul d v)) q.Qldae.d1;
+    beta;
+    n_full = Qldae.dim q;
+  }
+
+(* Exponential distance weights, normalized. *)
+let weights (t : t) (z : Vec.t) : float array =
+  let d = Array.map (fun p -> Vec.dist2 z p.center) t.pieces in
+  let dmin = Array.fold_left Float.min infinity d in
+  let span = Float.max 1e-12 dmin in
+  let w = Array.map (fun di -> Float.exp (-.t.beta *. (di -. dmin) /. span)) d in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun wi -> wi /. total) w
+
+let rhs (t : t) (z : Vec.t) (u : Vec.t) : Vec.t =
+  let w = weights t z in
+  let qdim = Mat.cols t.basis in
+  let out = Vec.create qdim in
+  Array.iteri
+    (fun i piece ->
+      if w.(i) > 1e-12 then begin
+        let contrib = Mat.mul_vec piece.a_r z in
+        Vec.axpy ~alpha:1.0 piece.f_r contrib;
+        Vec.axpy ~alpha:w.(i) contrib out
+      end)
+    t.pieces;
+  for i = 0 to Array.length u - 1 do
+    if u.(i) <> 0.0 then begin
+      Vec.axpy ~alpha:u.(i) (Mat.col t.b_r i) out;
+      if Mat.norm_fro t.d1_r.(i) > 0.0 then
+        Vec.axpy ~alpha:u.(i) (Mat.mul_vec t.d1_r.(i) z) out
+    end
+  done;
+  out
+
+(* Blended Jacobian (weight derivatives ignored — standard TPWL
+   practice). *)
+let jacobian (t : t) (z : Vec.t) (u : Vec.t) : Mat.t =
+  let w = weights t z in
+  let qdim = Mat.cols t.basis in
+  let j = Mat.create qdim qdim in
+  Array.iteri
+    (fun i piece ->
+      if w.(i) > 1e-12 then
+        for r = 0 to qdim - 1 do
+          for c = 0 to qdim - 1 do
+            Mat.add_to j r c (w.(i) *. Mat.get piece.a_r r c)
+          done
+        done)
+    t.pieces;
+  for i = 0 to Array.length u - 1 do
+    if u.(i) <> 0.0 then
+      for r = 0 to qdim - 1 do
+        for c = 0 to qdim - 1 do
+          Mat.add_to j r c (u.(i) *. Mat.get t.d1_r.(i) r c)
+        done
+      done
+  done;
+  j
+
+let ode_system (t : t) ~(input : float -> Vec.t) : Ode.Types.system =
+  {
+    Ode.Types.dim = Mat.cols t.basis;
+    rhs = (fun time z -> rhs t z (input time));
+    jac = Some (fun time z -> jacobian t z (input time));
+  }
+
+let simulate ?(solver = Qldae.default_solver) (t : t) ~input ~t0 ~t1 ~samples :
+    Ode.Types.solution =
+  let sys = ode_system t ~input in
+  let z0 = Vec.create (Mat.cols t.basis) in
+  match solver with
+  | Qldae.Rk4 h -> Ode.Rk4.integrate sys ~t0 ~t1 ~x0:z0 ~h ~samples
+  | Qldae.Rkf45 { rtol; atol } ->
+    Ode.Rkf45.integrate sys ~t0 ~t1 ~x0:z0 ~rtol ~atol ~samples ()
+  | Qldae.Imtrap h -> Ode.Imtrap.integrate sys ~t0 ~t1 ~x0:z0 ~h ~samples ()
+
+(* Output series cᵣᵀ z(t). *)
+let output (t : t) (sol : Ode.Types.solution) : float array =
+  Ode.Types.output_dot sol ~c:(Mat.row t.c_r 0)

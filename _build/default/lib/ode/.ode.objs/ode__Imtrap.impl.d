@@ -1,0 +1,1 @@
+lib/ode/imtrap.ml: Array Float La Lu Mat Printf Types Vec

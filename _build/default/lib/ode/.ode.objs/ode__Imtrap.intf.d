@@ -1,0 +1,1 @@
+lib/ode/imtrap.mli: La Types Vec

@@ -1,0 +1,1 @@
+lib/ode/rk4.ml: Array Float La Printf Types Vec

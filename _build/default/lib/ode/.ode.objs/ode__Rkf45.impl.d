@@ -1,0 +1,1 @@
+lib/ode/rkf45.ml: Array Float La Option Printf Types Vec

@@ -1,0 +1,1 @@
+lib/ode/rkf45.mli: La Types Vec

@@ -1,0 +1,1 @@
+lib/ode/types.ml: Array La Mat Vec

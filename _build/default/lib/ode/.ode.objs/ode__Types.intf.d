@@ -1,0 +1,1 @@
+lib/ode/types.mli: La Mat Vec

@@ -1,0 +1,43 @@
+(* Classical fixed-step fourth-order Runge-Kutta. *)
+
+open La
+
+let step (sys : Types.system) stats t h (x : Vec.t) : Vec.t =
+  let open Types in
+  let k1 = sys.rhs t x in
+  let k2 = sys.rhs (t +. (0.5 *. h)) (Vec.add x (Vec.scale (0.5 *. h) k1)) in
+  let k3 = sys.rhs (t +. (0.5 *. h)) (Vec.add x (Vec.scale (0.5 *. h) k2)) in
+  let k4 = sys.rhs (t +. h) (Vec.add x (Vec.scale h k3)) in
+  stats.rhs_evals <- stats.rhs_evals + 4;
+  stats.steps <- stats.steps + 1;
+  let out = Vec.copy x in
+  Vec.axpy ~alpha:(h /. 6.0) k1 out;
+  Vec.axpy ~alpha:(h /. 3.0) k2 out;
+  Vec.axpy ~alpha:(h /. 3.0) k3 out;
+  Vec.axpy ~alpha:(h /. 6.0) k4 out;
+  out
+
+(* Integrate to each requested output time with internal step [h]
+   (the step is shortened to land exactly on sample instants). *)
+let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h ~samples :
+    Types.solution =
+  if Array.length x0 <> sys.dim then invalid_arg "Rk4.integrate: x0 dimension";
+  if h <= 0.0 then invalid_arg "Rk4.integrate: h must be positive";
+  let stats = Types.new_stats () in
+  let times = Types.sample_times ~t0 ~t1 ~samples in
+  let states = Array.make samples x0 in
+  let x = ref (Vec.copy x0) and t = ref t0 in
+  states.(0) <- Vec.copy x0;
+  for i = 1 to samples - 1 do
+    let target = times.(i) in
+    while !t < target -. 1e-14 *. Float.abs target do
+      let step_h = Float.min h (target -. !t) in
+      x := step sys stats !t step_h !x;
+      if not (Vec.is_finite !x) then
+        raise (Types.Step_failure
+                 (Printf.sprintf "Rk4: non-finite state at t=%.6g" !t));
+      t := !t +. step_h
+    done;
+    states.(i) <- Vec.copy !x
+  done;
+  { Types.times; states; stats }

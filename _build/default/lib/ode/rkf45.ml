@@ -1,0 +1,111 @@
+(* Runge-Kutta-Fehlberg 4(5) with adaptive step-size control. *)
+
+open La
+
+(* Fehlberg tableau. *)
+let a2 = 0.25
+
+let a3 = [| 3.0 /. 32.0; 9.0 /. 32.0 |]
+
+let a4 = [| 1932.0 /. 2197.0; -7200.0 /. 2197.0; 7296.0 /. 2197.0 |]
+
+let a5 = [| 439.0 /. 216.0; -8.0; 3680.0 /. 513.0; -845.0 /. 4104.0 |]
+
+let a6 =
+  [| -8.0 /. 27.0; 2.0; -3544.0 /. 2565.0; 1859.0 /. 4104.0; -11.0 /. 40.0 |]
+
+(* 5th order solution weights *)
+let b5 =
+  [|
+    16.0 /. 135.0;
+    0.0;
+    6656.0 /. 12825.0;
+    28561.0 /. 56430.0;
+    -9.0 /. 50.0;
+    2.0 /. 55.0;
+  |]
+
+(* 4th order (embedded) weights *)
+let b4 =
+  [|
+    25.0 /. 216.0;
+    0.0;
+    1408.0 /. 2565.0;
+    2197.0 /. 4104.0;
+    -0.2;
+    0.0;
+  |]
+
+let c = [| 0.0; 0.25; 0.375; 12.0 /. 13.0; 1.0; 0.5 |]
+
+(* One embedded step: returns (5th-order next state, error estimate). *)
+let attempt (sys : Types.system) stats t h (x : Vec.t) =
+  let open Types in
+  let combine coeffs ks =
+    let out = Vec.copy x in
+    Array.iteri
+      (fun i coef -> if coef <> 0.0 then Vec.axpy ~alpha:(h *. coef) ks.(i) out)
+      coeffs;
+    out
+  in
+  let k = Array.make 6 x in
+  k.(0) <- sys.rhs t x;
+  k.(1) <- sys.rhs (t +. (c.(1) *. h)) (combine [| a2 |] k);
+  k.(2) <- sys.rhs (t +. (c.(2) *. h)) (combine a3 k);
+  k.(3) <- sys.rhs (t +. (c.(3) *. h)) (combine a4 k);
+  k.(4) <- sys.rhs (t +. (c.(4) *. h)) (combine a5 k);
+  k.(5) <- sys.rhs (t +. (c.(5) *. h)) (combine a6 k);
+  stats.rhs_evals <- stats.rhs_evals + 6;
+  let x5 = combine b5 k in
+  let x4 = combine b4 k in
+  (x5, Vec.sub x5 x4)
+
+let default_rtol = 1e-7
+
+let default_atol = 1e-10
+
+let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
+    ?(atol = default_atol) ?h0 ?hmax ~samples () : Types.solution =
+  if Array.length x0 <> sys.dim then invalid_arg "Rkf45.integrate: x0 dimension";
+  let stats = Types.new_stats () in
+  let span = t1 -. t0 in
+  let hmax = Option.value hmax ~default:(span /. 10.0) in
+  let h = ref (Option.value h0 ~default:(span /. 1000.0)) in
+  let times = Types.sample_times ~t0 ~t1 ~samples in
+  let states = Array.make samples x0 in
+  states.(0) <- Vec.copy x0;
+  let x = ref (Vec.copy x0) and t = ref t0 in
+  let hmin = 1e-13 *. Float.max 1.0 (Float.abs span) in
+  for i = 1 to samples - 1 do
+    let target = times.(i) in
+    while !t < target -. 1e-14 *. Float.abs target do
+      let step_h = Float.min !h (target -. !t) in
+      let x5, err = attempt sys stats !t step_h !x in
+      (* weighted RMS error norm *)
+      let n = sys.dim in
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        let scale = atol +. (rtol *. Float.max (Float.abs !x.(j)) (Float.abs x5.(j))) in
+        let e = err.(j) /. scale in
+        acc := !acc +. (e *. e)
+      done;
+      let enorm = sqrt (!acc /. float_of_int n) in
+      if enorm <= 1.0 || step_h <= hmin then begin
+        if not (Vec.is_finite x5) then
+          raise (Types.Step_failure
+                   (Printf.sprintf "Rkf45: non-finite state at t=%.6g" !t));
+        stats.steps <- stats.steps + 1;
+        t := !t +. step_h;
+        x := x5
+      end
+      else stats.rejected <- stats.rejected + 1;
+      (* PI-ish step update with safety factor *)
+      let factor =
+        if enorm = 0.0 then 4.0
+        else Float.min 4.0 (Float.max 0.1 (0.9 *. (enorm ** (-0.2))))
+      in
+      h := Float.min hmax (Float.max hmin (step_h *. factor))
+    done;
+    states.(i) <- Vec.copy !x
+  done;
+  { Types.times; states; stats }

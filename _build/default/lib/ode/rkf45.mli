@@ -1,0 +1,24 @@
+(** Runge–Kutta–Fehlberg 4(5) with adaptive step-size control — the
+    default transient engine for the (mildly stiff) quadratized circuit
+    models. *)
+
+open La
+
+val default_rtol : float
+val default_atol : float
+
+(** Integrate from [t0] to [t1], sampling the solution on a uniform grid
+    of [samples] points. [h0] is the initial step, [hmax] the cap
+    (default: a tenth of the span). *)
+val integrate :
+  Types.system ->
+  t0:float ->
+  t1:float ->
+  x0:Vec.t ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?hmax:float ->
+  samples:int ->
+  unit ->
+  Types.solution

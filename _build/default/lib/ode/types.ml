@@ -1,0 +1,39 @@
+(* Shared ODE-solver types: systems x' = f(t, x), solver statistics and
+   sampled solutions. *)
+
+open La
+
+type system = {
+  dim : int;
+  rhs : float -> Vec.t -> Vec.t;  (* f(t, x) *)
+  jac : (float -> Vec.t -> Mat.t) option;  (* df/dx, for implicit solvers *)
+}
+
+type stats = {
+  mutable steps : int;  (* accepted steps *)
+  mutable rejected : int;  (* rejected (adaptive) steps *)
+  mutable rhs_evals : int;
+  mutable jac_evals : int;
+  mutable newton_iters : int;
+}
+
+let new_stats () =
+  { steps = 0; rejected = 0; rhs_evals = 0; jac_evals = 0; newton_iters = 0 }
+
+type solution = {
+  times : float array;
+  states : Vec.t array;  (* states.(i) is x(times.(i)) *)
+  stats : stats;
+}
+
+let output_component sol ~index = Array.map (fun x -> x.(index)) sol.states
+
+let output_dot sol ~(c : Vec.t) = Array.map (fun x -> Vec.dot c x) sol.states
+
+(* Uniform sample grid with [samples] points including both endpoints. *)
+let sample_times ~t0 ~t1 ~samples =
+  if samples < 2 then invalid_arg "sample_times: need at least 2 samples";
+  Array.init samples (fun i ->
+      t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (samples - 1)))
+
+exception Step_failure of string

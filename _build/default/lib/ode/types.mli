@@ -1,0 +1,40 @@
+(** Shared ODE-solver types: systems [x' = f(t, x)], solver statistics,
+    sampled solutions. *)
+
+open La
+
+type system = {
+  dim : int;
+  rhs : float -> Vec.t -> Vec.t;  (** [f(t, x)] *)
+  jac : (float -> Vec.t -> Mat.t) option;
+      (** [df/dx], required by implicit solvers *)
+}
+
+type stats = {
+  mutable steps : int;  (** accepted steps *)
+  mutable rejected : int;  (** rejected (adaptive) steps *)
+  mutable rhs_evals : int;
+  mutable jac_evals : int;
+  mutable newton_iters : int;
+}
+
+val new_stats : unit -> stats
+
+type solution = {
+  times : float array;
+  states : Vec.t array;  (** [states.(i)] is [x(times.(i))] *)
+  stats : stats;
+}
+
+(** Time series of one state component. *)
+val output_component : solution -> index:int -> float array
+
+(** Time series of [cᵀ x(t)]. *)
+val output_dot : solution -> c:Vec.t -> float array
+
+(** Uniform grid of [samples] points including both endpoints. *)
+val sample_times : t0:float -> t1:float -> samples:int -> float array
+
+(** Raised when an integrator cannot proceed (non-finite state, Newton
+    stall). *)
+exception Step_failure of string

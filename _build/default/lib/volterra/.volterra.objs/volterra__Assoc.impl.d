@@ -1,0 +1,1 @@
+lib/volterra/assoc.ml: Array Clu Cmat Complex Cvec Float Fun Kron Ksolve La Lazy List Lu Mat Option Qldae Sptensor Vec

@@ -1,0 +1,1 @@
+lib/volterra/assoc.mli: Complex Cvec La Qldae Vec

@@ -1,0 +1,1 @@
+lib/volterra/distortion.ml: Array Complex Cvec Float Hashtbl La List Mat Option Qldae Transfer

@@ -1,0 +1,1 @@
+lib/volterra/distortion.mli: Complex Qldae

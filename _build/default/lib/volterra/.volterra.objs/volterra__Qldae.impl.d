@@ -1,0 +1,1 @@
+lib/volterra/qldae.ml: Array La List Lu Mat Ode Sptensor Vec

@@ -1,0 +1,1 @@
+lib/volterra/qldae.mli: La Mat Ode Sptensor Vec

@@ -1,0 +1,1 @@
+lib/volterra/transfer.ml: Array Clu Cmat Complex Cvec Hashtbl La Mat Qldae Sptensor

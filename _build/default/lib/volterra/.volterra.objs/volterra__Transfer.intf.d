@@ -1,0 +1,1 @@
+lib/volterra/transfer.mli: Complex Cvec La Qldae

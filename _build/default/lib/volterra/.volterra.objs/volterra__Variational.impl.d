@@ -1,0 +1,1 @@
+lib/volterra/variational.ml: Array La Mat Ode Qldae Sptensor Vec

@@ -1,0 +1,1 @@
+lib/volterra/variational.mli: La Ode Qldae Vec

@@ -1,0 +1,59 @@
+(** Associated transforms of the high-order Volterra transfer functions —
+    the paper's core contribution (§2.2–2.3).
+
+    Theorems 1 and 2 collapse the multivariate [H2(s1,s2)],
+    [H3(s1,s2,s3)] into single-[s] functions built from Kronecker sums
+    of [G1]:
+
+    {v H2(s) = (sI−G1)⁻¹ ( G2 (sI−⊕²G1)⁻¹ w + d )          (eq. 17)
+       H3(s) = (sI−G1)⁻¹ ( (2/3)Σ G2 W(s) + (1/3)Σ D1 H2(s)
+                           + G3 (sI−⊕³G1)⁻¹ q ) v}
+
+    so a Krylov/moment subspace about a {e single} [s] serves every
+    order — the paper's escape from the exponential subspace growth of
+    multivariate moment matching. Every [n²]/[n³]-sized solve goes
+    through the structured Kronecker-sum solver {!La.Ksolve}; nothing of
+    size [n²×n²] is ever materialized.
+
+    Moment vectors are Taylor coefficients about a real expansion point
+    [s0], reported as coefficients of [(−δ)^m] (i.e. [(−1)^m] times the
+    Taylor coefficient — the sign is irrelevant for subspace spanning). *)
+
+open La
+
+type t
+
+(** Build the engine. [s0] defaults to [0] when [G1] is invertible and
+    to [1.0] for quadratized diode circuits, whose augmented [G1] is
+    structurally singular (see DESIGN.md; the paper's §4 non-DC
+    expansion). *)
+val create : ?s0:float -> Qldae.t -> t
+
+(** The expansion point in use. *)
+val s0 : t -> float
+
+val qldae : t -> Qldae.t
+
+(** [h1_moments t ~k]: [k] moment vectors of [H1] about [s0] per input
+    column — the classical Krylov chain [(s0I−G1)^{-(j+1)} b]. *)
+val h1_moments : t -> k:int -> Vec.t list
+
+(** Moments of the associated [H2(s)] for one unordered input pair. *)
+val h2_moment_series : t -> k:int -> int * int -> Vec.t list
+
+(** [h2_moments t ~k]: moments for every unordered input pair. *)
+val h2_moments : t -> k:int -> Vec.t list
+
+(** Moments of the associated [H3(s)] for one unordered input triple. *)
+val h3_moment_series : t -> k:int -> int * int * int -> Vec.t list
+
+(** [h3_moments t ~k]: moments for input triples. [`Diagonal] restricts
+    to same-input triples [(a,a,a)] (cheaper for many-input systems;
+    [`All] is exact and the default). *)
+val h3_moments : ?triples_mode:[ `All | `Diagonal ] -> t -> k:int -> Vec.t list
+
+(** Evaluate the associated [H2^{ab}(s)] at a complex frequency. *)
+val h2_eval : t -> inputs:int * int -> Complex.t -> Cvec.t
+
+(** Evaluate the associated [H3^{abc}(s)] at a complex frequency. *)
+val h3_eval : t -> inputs:int * int * int -> Complex.t -> Cvec.t

@@ -1,0 +1,234 @@
+(* Weakly nonlinear steady-state and distortion analysis from the
+   Volterra transfer functions: the classic frequency-domain use of
+   H1/H2/H3 (harmonic and intermodulation distortion of analog/RF
+   blocks — the application domain motivating the paper).
+
+   For a multi-tone input u_i(t) = Σ_p A_p cos(ω_p t + φ_p), each tone
+   contributes two complex exponentials (±ω_p, amplitude U_p/2 with
+   U_p = A_p e^{jφ_p}). The order-n steady-state response collects, for
+   every multiset of n signed exponentials, the term
+
+     (multiset permutation count) · Hn(s_1, ..., s_n) · Π coeffs
+       at frequency ω_1 + ... + ω_n,
+
+   with Hn the *symmetric* transfer functions of {!Transfer}. Truncating
+   at order 3 matches the QLDAE Volterra engine. *)
+
+open La
+
+type tone = { freq : float; amp : float; phase : float; input : int }
+
+let tone ?(phase = 0.0) ?(input = 0) ~freq amp = { freq; amp; phase; input }
+
+(* one complex exponential: e^{j omega t} with complex coefficient *)
+type exponential = { omega : float; coeff : Complex.t; from_input : int }
+
+type component = {
+  freq : float;  (* >= 0; the negative-frequency twin is implied *)
+  order : int;
+  phasor : Complex.t;  (* output phasor: contribution is Re(phasor e^{jwt}) *)
+}
+
+let signed_exponentials (tones : tone list) : exponential list =
+  List.concat_map
+    (fun t ->
+      let u =
+        Complex.mul
+          { Complex.re = t.amp /. 2.0; im = 0.0 }
+          (Complex.exp { Complex.re = 0.0; im = t.phase })
+      in
+      let w = 2.0 *. Float.pi *. t.freq in
+      [
+        { omega = w; coeff = u; from_input = t.input };
+        { omega = -.w; coeff = Complex.conj u; from_input = t.input };
+      ])
+    tones
+
+(* multisets of size k from a list (indices non-decreasing), with the
+   multiset permutation count k! / prod(mult!) *)
+let multisets k (items : 'a array) : ('a array * float) list =
+  let n = Array.length items in
+  let out = ref [] in
+  let idx = Array.make k 0 in
+  let rec count_perms () =
+    (* k! / product of factorials of run lengths *)
+    let fact m =
+      let r = ref 1.0 in
+      for i = 2 to m do
+        r := !r *. float_of_int i
+      done;
+      !r
+    in
+    let total = fact k in
+    let i = ref 0 in
+    let denom = ref 1.0 in
+    while !i < k do
+      let j = ref !i in
+      while !j < k && idx.(!j) = idx.(!i) do
+        incr j
+      done;
+      denom := !denom *. fact (!j - !i);
+      i := !j
+    done;
+    total /. !denom
+  in
+  let rec go pos lo =
+    if pos = k then
+      out := (Array.map (fun i -> items.(i)) idx, count_perms ()) :: !out
+    else
+      for i = lo to n - 1 do
+        idx.(pos) <- i;
+        go (pos + 1) i
+      done
+  in
+  if k > 0 then go 0 0;
+  List.rev !out
+
+(* scalar output phasor from a transfer-function value *)
+let output_dot (q : Qldae.t) (v : Cvec.t) : Complex.t =
+  Cvec.dot (Cvec.of_real (Mat.row q.Qldae.c 0)) v
+
+let js w = { Complex.re = 0.0; im = w }
+
+(* Collect raw (frequency, order, phasor) contributions up to
+   [max_order]. *)
+let contributions ?(max_order = 3) (q : Qldae.t) ~(tones : tone list) :
+    (float * int * Complex.t) list =
+  if max_order < 1 || max_order > 3 then
+    invalid_arg "Distortion.analyze: max_order must be 1..3";
+  let tf = Transfer.create q in
+  let exps = Array.of_list (signed_exponentials tones) in
+  let acc = ref [] in
+  (* order 1 *)
+  Array.iter
+    (fun e ->
+      let h = Transfer.h1 tf ~input:e.from_input (js e.omega) in
+      let phasor = Complex.mul (output_dot q h) e.coeff in
+      acc := (e.omega, 1, phasor) :: !acc)
+    exps;
+  (* order 2 *)
+  if max_order >= 2 && (Qldae.has_g2 q || Qldae.has_d1 q) then
+    List.iter
+      (fun (pair, count) ->
+        let e1 = pair.(0) and e2 = pair.(1) in
+        let h =
+          Transfer.h2 tf
+            ~inputs:(e1.from_input, e2.from_input)
+            (js e1.omega) (js e2.omega)
+        in
+        let phasor =
+          Complex.mul
+            { Complex.re = count; im = 0.0 }
+            (Complex.mul (output_dot q h) (Complex.mul e1.coeff e2.coeff))
+        in
+        acc := (e1.omega +. e2.omega, 2, phasor) :: !acc)
+      (multisets 2 exps);
+  (* order 3 *)
+  if max_order >= 3 && (Qldae.has_g2 q || Qldae.has_g3 q || Qldae.has_d1 q)
+  then
+    List.iter
+      (fun (triple, count) ->
+        let e1 = triple.(0) and e2 = triple.(1) and e3 = triple.(2) in
+        let h =
+          Transfer.h3 tf
+            ~inputs:(e1.from_input, e2.from_input, e3.from_input)
+            (js e1.omega) (js e2.omega) (js e3.omega)
+        in
+        let phasor =
+          Complex.mul
+            { Complex.re = count; im = 0.0 }
+            (Complex.mul (output_dot q h)
+               (Complex.mul e1.coeff (Complex.mul e2.coeff e3.coeff)))
+        in
+        acc := (e1.omega +. e2.omega +. e3.omega, 3, phasor) :: !acc)
+      (multisets 3 exps);
+  List.rev !acc
+
+(* Merge contributions into non-negative-frequency components. A
+   frequency -w contribution is folded onto +w as its conjugate (the
+   signal is real). DC keeps its full (real) phasor. *)
+let analyze ?max_order (q : Qldae.t) ~tones : component list =
+  let raw = contributions ?max_order q ~tones in
+  let tbl : (int * int, Complex.t) Hashtbl.t = Hashtbl.create 32 in
+  let quantize w = int_of_float (Float.round (w *. 1e9 /. (2.0 *. Float.pi))) in
+  List.iter
+    (fun (w, order, phasor) ->
+      let key_freq = abs (quantize w) in
+      let phasor = if w < -1e-12 then Complex.conj phasor else phasor in
+      let key = (key_freq, order) in
+      let prev =
+        Option.value (Hashtbl.find_opt tbl key) ~default:Complex.zero
+      in
+      Hashtbl.replace tbl key (Complex.add prev phasor))
+    raw;
+  Hashtbl.fold
+    (fun (fq, order) phasor out ->
+      { freq = float_of_int fq /. 1e9; order; phasor } :: out)
+    tbl []
+  |> List.sort (fun a b -> compare (a.freq, a.order) (b.freq, b.order))
+
+(* amplitude of the real signal component at a frequency: for f > 0 the
+   waveform term is Re(phasor e^{jwt}) from both ±w halves already
+   folded, i.e. amplitude |phasor|; at DC the value is Re(phasor). *)
+let amplitude_at ?(tol = 1e-9) (components : component list) f =
+  List.fold_left
+    (fun acc c ->
+      if Float.abs (c.freq -. f) < tol then
+        Complex.add acc c.phasor
+      else acc)
+    Complex.zero components
+  |> Complex.norm
+
+(* Reconstruct the steady-state waveform at time t. *)
+let waveform (components : component list) (t : float) : float =
+  List.fold_left
+    (fun acc c ->
+      let w = 2.0 *. Float.pi *. c.freq in
+      if c.freq < 1e-12 then acc +. c.phasor.Complex.re
+      else
+        acc
+        +. (c.phasor.Complex.re *. cos (w *. t))
+        -. (c.phasor.Complex.im *. sin (w *. t)))
+    0.0 components
+
+(* ---- standard distortion figures ---- *)
+
+type harmonic_report = {
+  fundamental : float;
+  hd2 : float;  (* |X(2f)| / |X(f)| *)
+  hd3 : float;  (* |X(3f)| / |X(f)| *)
+  dc_shift : float;
+}
+
+(* Single-tone harmonic distortion at the output. *)
+let harmonics (q : Qldae.t) ~freq ~amp : harmonic_report =
+  let comps = analyze q ~tones:[ tone ~freq amp ] in
+  let fund = amplitude_at comps freq in
+  {
+    fundamental = fund;
+    hd2 = (if fund > 0.0 then amplitude_at comps (2.0 *. freq) /. fund else 0.0);
+    hd3 = (if fund > 0.0 then amplitude_at comps (3.0 *. freq) /. fund else 0.0);
+    dc_shift = amplitude_at comps 0.0;
+  }
+
+type intermod_report = {
+  f1_amplitude : float;
+  im2 : float;  (* |X(f1+f2)| / |X(f1)| *)
+  im3 : float;  (* |X(2f1-f2)| / |X(f1)| *)
+}
+
+(* Two-tone intermodulation (same input port unless specified). *)
+let intermodulation ?(input1 = 0) ?(input2 = 0) (q : Qldae.t) ~f1 ~f2 ~amp :
+    intermod_report =
+  let comps =
+    analyze q
+      ~tones:[ tone ~input:input1 ~freq:f1 amp; tone ~input:input2 ~freq:f2 amp ]
+  in
+  let fund = amplitude_at comps f1 in
+  {
+    f1_amplitude = fund;
+    im2 = (if fund > 0.0 then amplitude_at comps (f1 +. f2) /. fund else 0.0);
+    im3 =
+      (if fund > 0.0 then amplitude_at comps ((2.0 *. f1) -. f2) /. fund
+       else 0.0);
+  }

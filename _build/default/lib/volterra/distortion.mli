@@ -1,0 +1,49 @@
+(** Weakly nonlinear steady-state and distortion analysis from the
+    Volterra transfer functions — harmonic distortion (HD2/HD3),
+    intermodulation (IM2/IM3) and multi-tone response spectra of QLDAE
+    models, the classical frequency-domain application of H1/H2/H3 in
+    the paper's analog/RF setting. Truncated at third order, matching
+    the library's Volterra engine. *)
+
+type tone = { freq : float; amp : float; phase : float; input : int }
+
+(** Build a tone (defaults: [phase = 0], [input = 0]). *)
+val tone : ?phase:float -> ?input:int -> freq:float -> float -> tone
+
+type component = {
+  freq : float;  (** ≥ 0 (negative-frequency twin folded in) *)
+  order : int;  (** Volterra order that generated it *)
+  phasor : Complex.t;
+      (** waveform term is [Re(phasor e^{j2πf t})]; at DC, [Re phasor] *)
+}
+
+(** Steady-state output spectrum up to [max_order] (1..3, default 3). *)
+val analyze : ?max_order:int -> Qldae.t -> tones:tone list -> component list
+
+(** Amplitude of the (real) output component at frequency [f], summing
+    all Volterra orders that land there. *)
+val amplitude_at : ?tol:float -> component list -> float -> float
+
+(** Reconstruct the steady-state waveform at a time instant. *)
+val waveform : component list -> float -> float
+
+type harmonic_report = {
+  fundamental : float;
+  hd2 : float;  (** second-harmonic distortion [|X(2f)|/|X(f)|] *)
+  hd3 : float;  (** third-harmonic distortion *)
+  dc_shift : float;  (** rectified DC offset *)
+}
+
+(** Single-tone harmonic distortion at the output. *)
+val harmonics : Qldae.t -> freq:float -> amp:float -> harmonic_report
+
+type intermod_report = {
+  f1_amplitude : float;
+  im2 : float;  (** [|X(f1+f2)|/|X(f1)|] *)
+  im3 : float;  (** [|X(2f1−f2)|/|X(f1)|] *)
+}
+
+(** Two-tone intermodulation. *)
+val intermodulation :
+  ?input1:int -> ?input2:int -> Qldae.t -> f1:float -> f2:float -> amp:float ->
+  intermod_report

@@ -1,0 +1,292 @@
+(* Quadratic-linear (plus optional cubic) differential state equations —
+   the paper's eq. (2) extended with the cubic coupling of §3.4 and
+   multiple inputs (§3.3):
+
+     x' = G1 x + G2 (x ⊗ x) + G3 (x ⊗ x ⊗ x)
+          + sum_i (D1_i x) u_i + b_i u_i
+
+   G2 and G3 are kept symmetrized so that contraction against distinct
+   arguments matches the symmetrized Volterra formulas (14b)/(14c). *)
+
+open La
+
+type t = {
+  n : int;  (* state dimension *)
+  m : int;  (* number of inputs *)
+  g1 : Mat.t;  (* n x n *)
+  g2 : Sptensor.t;  (* arity 2, n x n^2, symmetrized *)
+  g3 : Sptensor.t;  (* arity 3, n x n^3, symmetrized *)
+  d1 : Mat.t array;  (* one n x n matrix per input (all zero allowed) *)
+  b : Mat.t;  (* n x m input map *)
+  c : Mat.t;  (* p x n output map *)
+}
+
+let validate t =
+  if Mat.dims t.g1 <> (t.n, t.n) then invalid_arg "Qldae: G1 must be n x n";
+  if Sptensor.arity t.g2 <> 2 || Sptensor.n_in t.g2 <> t.n || Sptensor.n_out t.g2 <> t.n
+  then invalid_arg "Qldae: G2 shape";
+  if Sptensor.arity t.g3 <> 3 || Sptensor.n_in t.g3 <> t.n || Sptensor.n_out t.g3 <> t.n
+  then invalid_arg "Qldae: G3 shape";
+  if Array.length t.d1 <> t.m then invalid_arg "Qldae: need one D1 per input";
+  Array.iter
+    (fun d -> if Mat.dims d <> (t.n, t.n) then invalid_arg "Qldae: D1 shape")
+    t.d1;
+  if Mat.dims t.b <> (t.n, t.m) then invalid_arg "Qldae: b must be n x m";
+  if Mat.cols t.c <> t.n then invalid_arg "Qldae: c must be p x n";
+  t
+
+let make ?g2 ?g3 ?d1 ~g1 ~b ~c () =
+  let n = Mat.rows g1 in
+  let m = Mat.cols b in
+  let g2 =
+    match g2 with
+    | Some g -> Sptensor.symmetrize g
+    | None -> Sptensor.zero ~n_out:n ~n_in:n ~arity:2
+  in
+  let g3 =
+    match g3 with
+    | Some g -> Sptensor.symmetrize g
+    | None -> Sptensor.zero ~n_out:n ~n_in:n ~arity:3
+  in
+  let d1 =
+    match d1 with Some d -> d | None -> Array.init m (fun _ -> Mat.create n n)
+  in
+  validate { n; m; g1; g2; g3; d1; b; c }
+
+let dim t = t.n
+
+let n_inputs t = t.m
+
+let n_outputs t = Mat.rows t.c
+
+let has_d1 t = Array.exists (fun d -> Mat.norm_fro d > 0.0) t.d1
+
+let has_g2 t = not (Sptensor.is_zero t.g2)
+
+let has_g3 t = not (Sptensor.is_zero t.g3)
+
+(* Input column i of b. *)
+let b_col t i = Mat.col t.b i
+
+(* Right-hand side x' = f(x, u). *)
+let rhs t (x : Vec.t) (u : Vec.t) : Vec.t =
+  let out = Mat.mul_vec t.g1 x in
+  if has_g2 t then Vec.axpy ~alpha:1.0 (Sptensor.apply_pow t.g2 x) out;
+  if has_g3 t then Vec.axpy ~alpha:1.0 (Sptensor.apply_pow t.g3 x) out;
+  for i = 0 to t.m - 1 do
+    let ui = u.(i) in
+    if ui <> 0.0 then begin
+      Vec.axpy ~alpha:ui (Mat.col t.b i) out;
+      if Mat.norm_fro t.d1.(i) > 0.0 then
+        Vec.axpy ~alpha:ui (Mat.mul_vec t.d1.(i) x) out
+    end
+  done;
+  out
+
+(* State Jacobian df/dx at (x, u). *)
+let jacobian t (x : Vec.t) (u : Vec.t) : Mat.t =
+  let j = Mat.copy t.g1 in
+  if has_g2 t then Sptensor.jacobian_add t.g2 x j;
+  if has_g3 t then Sptensor.jacobian_add t.g3 x j;
+  for i = 0 to t.m - 1 do
+    if u.(i) <> 0.0 then
+      for r = 0 to t.n - 1 do
+        for c = 0 to t.n - 1 do
+          Mat.add_to j r c (u.(i) *. Mat.get t.d1.(i) r c)
+        done
+      done
+  done;
+  j
+
+(* Wrap as an ODE system for a given input waveform u : t -> R^m. *)
+let ode_system t ~(input : float -> Vec.t) : Ode.Types.system =
+  {
+    Ode.Types.dim = t.n;
+    rhs = (fun time x -> rhs t x (input time));
+    jac = Some (fun time x -> jacobian t x (input time));
+  }
+
+type solver = Rk4 of float | Rkf45 of { rtol : float; atol : float } | Imtrap of float
+
+let default_solver = Rkf45 { rtol = 1e-7; atol = 1e-10 }
+
+let simulate ?(solver = default_solver) ?(x0 : Vec.t option) t
+    ~(input : float -> Vec.t) ~t0 ~t1 ~samples : Ode.Types.solution =
+  let x0 = match x0 with Some v -> v | None -> Vec.create t.n in
+  let sys = ode_system t ~input in
+  match solver with
+  | Rk4 h -> Ode.Rk4.integrate sys ~t0 ~t1 ~x0 ~h ~samples
+  | Rkf45 { rtol; atol } ->
+    Ode.Rkf45.integrate sys ~t0 ~t1 ~x0 ~rtol ~atol ~samples ()
+  | Imtrap h -> Ode.Imtrap.integrate sys ~t0 ~t1 ~x0 ~h ~samples ()
+
+(* Output series y(t) = C x(t) (first output row). *)
+let output t (sol : Ode.Types.solution) : float array =
+  Ode.Types.output_dot sol ~c:(Mat.row t.c 0)
+
+let outputs t (sol : Ode.Types.solution) : float array array =
+  Array.init (n_outputs t) (fun p -> Ode.Types.output_dot sol ~c:(Mat.row t.c p))
+
+(* ---- DC operating point and equilibrium shift ----
+
+   Circuits with standing bias (e.g. the paper's Fig. 5 varistor rides a
+   200 V supply) have their equilibrium away from the origin. Reduction
+   machinery expands around the origin, so the model is *recentred*:
+   with x = x0 + d and f(x0, u0) = 0,
+
+     d' = J d + G2' (d⊗d) + G3 (d⊗d⊗d) + Σ (D1_i d)(u_i - u0_i) + b' u~
+
+   where J is the Jacobian at (x0, u0) and the shifted couplings absorb
+   the x0 cross terms. The shift is exact (polynomial recentring). *)
+
+(* Newton solve for f(x, u0) = 0 starting from the origin (or x_init). *)
+let dc_operating_point ?(tol = 1e-12) ?(max_iter = 50) ?x_init t
+    ~(u0 : Vec.t) : Vec.t =
+  let x = ref (match x_init with Some v -> Vec.copy v | None -> Vec.create t.n) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let f = rhs t !x u0 in
+    if Vec.norm2 f <= tol *. (1.0 +. Vec.norm2 !x) then converged := true
+    else begin
+      let j = jacobian t !x u0 in
+      let dx = Lu.solve_system j f in
+      (* damped update for robustness on strongly nonlinear devices *)
+      let step = ref 1.0 in
+      let norm0 = Vec.norm2 f in
+      let accepted = ref false in
+      while not !accepted do
+        let cand = Vec.copy !x in
+        Vec.axpy ~alpha:(-. !step) dx cand;
+        if Vec.norm2 (rhs t cand u0) < norm0 || !step < 1e-6 then begin
+          x := cand;
+          accepted := true
+        end
+        else step := !step /. 2.0
+      done
+    end
+  done;
+  if not !converged then failwith "Qldae.dc_operating_point: Newton stalled";
+  !x
+
+(* Exact recentring of the system around an equilibrium (x0, u0):
+   returns the deviation-variable QLDAE (whose state is d = x - x0 and
+   input is u~ = u - u0, with equilibrium at the origin). *)
+let shift_equilibrium t ~(x0 : Vec.t) ~(u0 : Vec.t) : t =
+  if Array.length x0 <> t.n || Array.length u0 <> t.m then
+    invalid_arg "Qldae.shift_equilibrium: dimension mismatch";
+  let residual = rhs t x0 u0 in
+  if Vec.norm2 residual > 1e-6 *. (1.0 +. Vec.norm2 x0) then
+    invalid_arg "Qldae.shift_equilibrium: (x0, u0) is not an equilibrium";
+  (* linear part: full Jacobian at the operating point *)
+  let g1 = jacobian t x0 u0 in
+  (* quadratic part: G2 plus the cubic cross terms 3 G3 (x0 ⊗ d ⊗ d)
+     (G3 symmetric) *)
+  let g2 =
+    if has_g3 t then begin
+      let extra =
+        List.filter_map
+          (fun (row, idx, coeff) ->
+            (* sum over which slot takes x0 — symmetrized G3 makes all
+               three equivalent: 3 * coeff * x0.(i1) at (i2, i3) *)
+            let i1 = idx.(0) and i2 = idx.(1) and i3 = idx.(2) in
+            if x0.(i1) <> 0.0 then
+              Some (row, [| i2; i3 |], 3.0 *. coeff *. x0.(i1))
+            else None)
+          (Sptensor.entries t.g3)
+      in
+      Sptensor.add t.g2 (Sptensor.create ~n_out:t.n ~n_in:t.n ~arity:2 extra)
+    end
+    else t.g2
+  in
+  (* input map: b_i + D1_i x0 *)
+  let b =
+    Mat.init t.n t.m (fun r i ->
+        Mat.get t.b r i +. Vec.dot (Mat.row t.d1.(i) r) x0)
+  in
+  validate
+    {
+      n = t.n;
+      m = t.m;
+      g1;
+      g2 = Sptensor.symmetrize g2;
+      g3 = t.g3;
+      d1 = t.d1;
+      b;
+      c = t.c;
+    }
+
+(* Petrov-Galerkin (oblique) projection with test basis W and trial
+   basis V, assumed bi-orthogonal (Wᵀ V = I): the reduced model follows
+   x ≈ V xr, xr' = Wᵀ f(V xr, u). *)
+let project_petrov t ~(w : Mat.t) ~(v : Mat.t) : t =
+  if Mat.rows v <> t.n || Mat.rows w <> t.n then
+    invalid_arg "Qldae.project_petrov: basis dimension";
+  if Mat.cols v <> Mat.cols w then
+    invalid_arg "Qldae.project_petrov: bases must have equal width";
+  let q = Mat.cols v in
+  let wt = Mat.transpose w in
+  let g1 = Mat.mul wt (Mat.mul t.g1 v) in
+  let project_tensor tensor arity =
+    (* Wᵀ M (V ⊗ ... ⊗ V), column by column over reduced tuples *)
+    let qk =
+      let s = ref 1 in
+      for _ = 1 to arity do
+        s := !s * q
+      done;
+      !s
+    in
+    let out = Mat.create q qk in
+    let cols = Array.init q (fun j -> Mat.col v j) in
+    let tuple = Array.make arity 0 in
+    let rec loop depth flat =
+      if depth = arity then begin
+        let wv = Sptensor.apply_kron tensor (Array.map (fun j -> cols.(j)) tuple) in
+        let reduced = Mat.mul_vec wt wv in
+        for i = 0 to q - 1 do
+          Mat.set out i flat reduced.(i)
+        done
+      end
+      else
+        for j = 0 to q - 1 do
+          tuple.(depth) <- j;
+          loop (depth + 1) ((flat * q) + j)
+        done
+    in
+    loop 0 0;
+    out
+  in
+  let g2 =
+    if has_g2 t then Sptensor.of_dense ~arity:2 ~n_in:q (project_tensor t.g2 2)
+    else Sptensor.zero ~n_out:q ~n_in:q ~arity:2
+  in
+  let g3 =
+    if has_g3 t then Sptensor.of_dense ~arity:3 ~n_in:q (project_tensor t.g3 3)
+    else Sptensor.zero ~n_out:q ~n_in:q ~arity:3
+  in
+  let d1 = Array.map (fun d -> Mat.mul wt (Mat.mul d v)) t.d1 in
+  let b = Mat.mul wt t.b in
+  let c = Mat.mul t.c v in
+  { n = q; m = t.m; g1; g2; g3; d1; b; c }
+
+(* Galerkin projection onto an orthonormal basis V (n x q):
+   G1r = Vᵀ G1 V, G2r = Vᵀ G2 (V⊗V), G3r = Vᵀ G3 (V⊗V⊗V),
+   D1r = Vᵀ D1 V, br = Vᵀ b, cr = C V. *)
+let project t (v : Mat.t) : t =
+  if Mat.rows v <> t.n then invalid_arg "Qldae.project: basis dimension";
+  let q = Mat.cols v in
+  let vt = Mat.transpose v in
+  let g1 = Mat.mul vt (Mat.mul t.g1 v) in
+  let g2 =
+    if has_g2 t then Sptensor.of_dense ~arity:2 ~n_in:q (Sptensor.project t.g2 v)
+    else Sptensor.zero ~n_out:q ~n_in:q ~arity:2
+  in
+  let g3 =
+    if has_g3 t then Sptensor.of_dense ~arity:3 ~n_in:q (Sptensor.project t.g3 v)
+    else Sptensor.zero ~n_out:q ~n_in:q ~arity:3
+  in
+  let d1 = Array.map (fun d -> Mat.mul vt (Mat.mul d v)) t.d1 in
+  let b = Mat.mul vt t.b in
+  let c = Mat.mul t.c v in
+  { n = q; m = t.m; g1; g2; g3; d1; b; c }

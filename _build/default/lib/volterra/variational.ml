@@ -1,0 +1,75 @@
+(* Variational (perturbation-cascade) responses of a QLDAE: writing the
+   response to eps * u as x = eps x1 + eps^2 x2 + eps^3 x3 + O(eps^4) and
+   matching powers of eps gives the linear cascade
+
+     x1' = G1 x1 + B u
+     x2' = G1 x2 + G2 (x1 ⊗ x1)              + Σ D1_i x1 u_i
+     x3' = G1 x3 + 2 G2 (x1 ⊗ x2) + G3 x1^⊗3 + Σ D1_i x2 u_i
+
+   (G2/G3 symmetric). The n-th cascade state is exactly the n-th order
+   Volterra response — the time-domain counterpart of Hn — which makes
+   this module the oracle for testing both the transfer functions and
+   the associated-transform realizations. *)
+
+open La
+
+type responses = {
+  times : float array;
+  x1 : Vec.t array;
+  x2 : Vec.t array;
+  x3 : Vec.t array;
+}
+
+let cascade_system (q : Qldae.t) ~(input : float -> Vec.t) : Ode.Types.system =
+  let n = Qldae.dim q in
+  let rhs t (z : Vec.t) =
+    let x1 = Vec.slice z ~pos:0 ~len:n in
+    let x2 = Vec.slice z ~pos:n ~len:n in
+    let x3 = Vec.slice z ~pos:(2 * n) ~len:n in
+    let u = input t in
+    let d1x v =
+      let acc = Vec.create n in
+      Array.iteri
+        (fun i d -> if u.(i) <> 0.0 then Vec.axpy ~alpha:u.(i) (Mat.mul_vec d v) acc)
+        q.Qldae.d1;
+      acc
+    in
+    let bu = Mat.mul_vec q.Qldae.b u in
+    let f1 = Vec.add (Mat.mul_vec q.Qldae.g1 x1) bu in
+    let f2 = Mat.mul_vec q.Qldae.g1 x2 in
+    if Qldae.has_g2 q then
+      Vec.axpy ~alpha:1.0 (Sptensor.apply_kron q.Qldae.g2 [| x1; x1 |]) f2;
+    if Qldae.has_d1 q then Vec.axpy ~alpha:1.0 (d1x x1) f2;
+    let f3 = Mat.mul_vec q.Qldae.g1 x3 in
+    if Qldae.has_g2 q then
+      Vec.axpy ~alpha:2.0 (Sptensor.apply_kron q.Qldae.g2 [| x1; x2 |]) f3;
+    if Qldae.has_g3 q then
+      Vec.axpy ~alpha:1.0 (Sptensor.apply_kron q.Qldae.g3 [| x1; x1; x1 |]) f3;
+    if Qldae.has_d1 q then Vec.axpy ~alpha:1.0 (d1x x2) f3;
+    Vec.concat [ f1; f2; f3 ]
+  in
+  { Ode.Types.dim = 3 * n; rhs; jac = None }
+
+let responses ?(rtol = 1e-8) ?(atol = 1e-11) (q : Qldae.t)
+    ~(input : float -> Vec.t) ~t0 ~t1 ~samples : responses =
+  let n = Qldae.dim q in
+  let sys = cascade_system q ~input in
+  let sol =
+    Ode.Rkf45.integrate sys ~t0 ~t1 ~x0:(Vec.create (3 * n)) ~rtol ~atol
+      ~samples ()
+  in
+  {
+    times = sol.Ode.Types.times;
+    x1 = Array.map (fun z -> Vec.slice z ~pos:0 ~len:n) sol.Ode.Types.states;
+    x2 = Array.map (fun z -> Vec.slice z ~pos:n ~len:n) sol.Ode.Types.states;
+    x3 =
+      Array.map (fun z -> Vec.slice z ~pos:(2 * n) ~len:n) sol.Ode.Types.states;
+  }
+
+(* Sum eps x1 + eps^2 x2 + eps^3 x3 — the third-order Volterra
+   approximation of the response to eps * u. *)
+let volterra_sum r ~eps i : Vec.t =
+  let acc = Vec.scale eps r.x1.(i) in
+  Vec.axpy ~alpha:(eps *. eps) r.x2.(i) acc;
+  Vec.axpy ~alpha:(eps *. eps *. eps) r.x3.(i) acc;
+  acc

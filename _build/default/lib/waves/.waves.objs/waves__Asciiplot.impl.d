@@ -1,0 +1,1 @@
+lib/waves/asciiplot.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/waves/csv.ml: Array Fun List Printf String

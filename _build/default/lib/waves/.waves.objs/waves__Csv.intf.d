@@ -1,0 +1,1 @@
+lib/waves/csv.mli:

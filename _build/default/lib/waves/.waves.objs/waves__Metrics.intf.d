@@ -1,0 +1,1 @@
+lib/waves/metrics.mli:

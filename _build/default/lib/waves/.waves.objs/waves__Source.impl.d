@@ -1,0 +1,1 @@
+lib/waves/source.ml: Array Float La Vec

@@ -1,0 +1,1 @@
+lib/waves/source.mli: La Vec

@@ -1,0 +1,94 @@
+(* Terminal line plots for the reproduction figures: multiple series
+   over a shared x axis, rendered into a character grid with distinct
+   glyphs per series. *)
+
+type series = { label : string; glyph : char; ys : float array }
+
+let default_glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let make_series ?glyph ~label ys idx =
+  let glyph =
+    match glyph with
+    | Some g -> g
+    | None -> default_glyphs.(idx mod Array.length default_glyphs)
+  in
+  { label; glyph; ys }
+
+let render ?(width = 72) ?(height = 20) ~(xs : float array)
+    (named : (string * float array) list) : string =
+  if Array.length xs < 2 then invalid_arg "Asciiplot.render: need >= 2 points";
+  let series =
+    List.mapi (fun i (label, ys) -> make_series ~label ys i) named
+  in
+  List.iter
+    (fun s ->
+      if Array.length s.ys <> Array.length xs then
+        invalid_arg "Asciiplot.render: series length mismatch")
+    series;
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun y ->
+          if Float.is_finite y then begin
+            if y < !ymin then ymin := y;
+            if y > !ymax then ymax := y
+          end)
+        s.ys)
+    series;
+  if not (Float.is_finite !ymin) then begin
+    ymin := 0.0;
+    ymax := 1.0
+  end;
+  if !ymax -. !ymin < 1e-300 then begin
+    ymax := !ymin +. 1.0;
+    ymin := !ymin -. 1.0
+  end;
+  let pad = 0.05 *. (!ymax -. !ymin) in
+  let ymin = !ymin -. pad and ymax = !ymax +. pad in
+  let grid = Array.make_matrix height width ' ' in
+  let xmin = xs.(0) and xmax = xs.(Array.length xs - 1) in
+  let col_of_x x =
+    let f = (x -. xmin) /. (xmax -. xmin) in
+    min (width - 1) (max 0 (int_of_float (f *. float_of_int (width - 1))))
+  in
+  let row_of_y y =
+    let f = (y -. ymin) /. (ymax -. ymin) in
+    let r = height - 1 - int_of_float (f *. float_of_int (height - 1)) in
+    min (height - 1) (max 0 r)
+  in
+  (* zero axis *)
+  if ymin < 0.0 && ymax > 0.0 then begin
+    let r0 = row_of_y 0.0 in
+    for c = 0 to width - 1 do
+      grid.(r0).(c) <- '-'
+    done
+  end;
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun i y ->
+          if Float.is_finite y then
+            grid.(row_of_y y).(col_of_x xs.(i)) <- s.glyph)
+        s.ys)
+    series;
+  let buf = Buffer.create ((width + 16) * (height + 4)) in
+  Buffer.add_string buf
+    (String.concat "   "
+       (List.map (fun s -> Printf.sprintf "%c %s" s.glyph s.label) series));
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun r row ->
+      let label =
+        if r = 0 then Printf.sprintf "%10.3g |" ymax
+        else if r = height - 1 then Printf.sprintf "%10.3g |" ymin
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> row.(c)));
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %-8.3g%*s%8.3g\n" "" xmin (width - 16) "" xmax);
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Terminal line plots for the reproduction figures: multiple labeled
+    series over a shared x axis rendered into a character grid. *)
+
+(** [render ~xs series] draws each [(label, ys)] with a distinct glyph.
+    Default size 72×20 characters. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  xs:float array ->
+  (string * float array) list ->
+  string

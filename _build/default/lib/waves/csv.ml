@@ -1,0 +1,26 @@
+(* Minimal CSV writer for experiment series (one header row, float
+   columns). *)
+
+let write ~path ~(header : string list) (columns : float array list) =
+  (match columns with
+  | [] -> invalid_arg "Csv.write: no columns"
+  | c0 :: rest ->
+    let len = Array.length c0 in
+    List.iter
+      (fun c -> if Array.length c <> len then invalid_arg "Csv.write: ragged columns")
+      rest);
+  if List.length header <> List.length columns then
+    invalid_arg "Csv.write: header/column mismatch";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.concat "," header);
+      output_char oc '\n';
+      let len = Array.length (List.hd columns) in
+      for i = 0 to len - 1 do
+        output_string oc
+          (String.concat ","
+             (List.map (fun c -> Printf.sprintf "%.9g" c.(i)) columns));
+        output_char oc '\n'
+      done)

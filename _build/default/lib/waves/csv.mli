@@ -1,0 +1,5 @@
+(** Minimal CSV writer for experiment series. *)
+
+(** [write ~path ~header columns] writes equal-length float columns
+    under a single header row. *)
+val write : path:string -> header:string list -> float array list -> unit

@@ -1,0 +1,41 @@
+(* Error metrics between sampled waveforms — the quantities plotted in
+   the paper's relative-error figures (2c, 3b, 4c). *)
+
+let check_same_length a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Metrics: series length mismatch"
+
+(* Pointwise relative error normalized by the peak of the reference —
+   the convention of the paper's error plots (avoids blow-up at zero
+   crossings). *)
+let relative_error_series ~(reference : float array) ~(approx : float array) :
+    float array =
+  check_same_length reference approx;
+  let peak =
+    Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 reference
+  in
+  let denom = if peak = 0.0 then 1.0 else peak in
+  Array.mapi (fun i r -> Float.abs (r -. approx.(i)) /. denom) reference
+
+let max_relative_error ~reference ~approx =
+  Array.fold_left Float.max 0.0 (relative_error_series ~reference ~approx)
+
+let rms (xs : float array) =
+  if Array.length xs = 0 then 0.0
+  else
+    sqrt
+      (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs
+      /. float_of_int (Array.length xs))
+
+let rms_error ~reference ~approx =
+  check_same_length reference approx;
+  rms (Array.mapi (fun i r -> r -. approx.(i)) reference)
+
+let peak (xs : float array) =
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 xs
+
+(* Normalized RMS error (RMS of the defect over RMS of the reference). *)
+let nrmse ~reference ~approx =
+  let r = rms reference in
+  if r = 0.0 then rms_error ~reference ~approx
+  else rms_error ~reference ~approx /. r

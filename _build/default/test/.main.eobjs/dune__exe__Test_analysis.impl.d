@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Chol Circuit Complex Float La List Lyapunov Mat Mor Ode Printf Random Sptensor Symeig Vec Volterra Waves

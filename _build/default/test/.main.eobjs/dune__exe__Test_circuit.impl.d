@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Complex Float La List Mat Ode Printf Random Schur Vec Volterra

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Cmat Complex Cvec Float Ksolve La List Lu Mat Ode Printf Random Schur Sptensor String Vec Vmor Volterra Waves

@@ -1,0 +1,1 @@
+test/test_dae_bias.ml: Alcotest Array Circuit Float La Mor Ode Printf Vec Volterra Waves

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Buffer Experiments Filename Float Format List Printf String Sys Waves

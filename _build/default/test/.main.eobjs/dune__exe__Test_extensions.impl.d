@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Circuit Complex Float Fun La List Lyapunov Mat Mor Printf Random Vec Volterra Waves

@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Array Clu Cmat Complex Cvec Expm Float Kron Ksolve La List Lu Mat Printf QCheck2 QCheck_alcotest Qr Random Schur Sptensor Sylvester Vec

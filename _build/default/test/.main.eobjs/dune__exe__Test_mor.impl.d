@@ -1,0 +1,1 @@
+test/test_mor.ml: Alcotest Array Circuit Float La List Lu Mat Mor Ode Printf Random Sptensor Vec Volterra

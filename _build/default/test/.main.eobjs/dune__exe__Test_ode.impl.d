@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Expm Float La List Mat Ode Printf QCheck2 QCheck_alcotest Random Vec

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Circuit Complex Cvec Float Kron La List Mat Ode QCheck2 QCheck_alcotest Qr Random Schur Sptensor Vec Volterra

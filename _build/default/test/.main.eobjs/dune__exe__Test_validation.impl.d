@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array Circuit Fun La Lu Mat Mor Ode Qr Sptensor Vec Volterra

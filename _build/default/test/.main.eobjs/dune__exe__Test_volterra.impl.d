@@ -1,0 +1,1 @@
+test/test_volterra.ml: Alcotest Array Clu Cmat Complex Cvec Expm Float Kron La List Lu Mat Ode Option Printf Random Sptensor Vec Volterra

@@ -1,0 +1,1 @@
+test/test_waves.ml: Alcotest Array Filename Float List Printf String Sys Waves

@@ -1,0 +1,362 @@
+(* Tests for the circuit substrate: MNA stamping, exact quadratization,
+   and the paper's three model builders. *)
+
+open La
+
+let check_small name value tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %.3e, tol %.1e)" name value tol)
+    true (value <= tol)
+
+let check_float name expected actual tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %.6g, got %.6g)" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol)
+
+(* ---- MNA stamping on hand-checked circuits ---- *)
+
+let test_rc_stamp () =
+  (* Single node: C = 2 to ground, R = 4 to ground -> 2 v' = -v/4 + u *)
+  let nl =
+    Circuit.Netlist.make ~n_nodes:1 ~n_inputs:1 ~output_node:1
+      Circuit.Netlist.
+        [
+          Capacitor { n1 = 1; n2 = 0; c = 2.0 };
+          Resistor { n1 = 1; n2 = 0; r = 4.0 };
+          Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 };
+        ]
+  in
+  let a = Circuit.Netlist.assemble nl in
+  check_float "E" 2.0 (Mat.get a.Circuit.Netlist.e_mat 0 0) 1e-15;
+  check_float "G" 0.25 (Mat.get a.Circuit.Netlist.g_mat 0 0) 1e-15;
+  check_float "B" 1.0 (Mat.get a.Circuit.Netlist.b_mat 0 0) 1e-15
+
+let test_floating_cap_stamp () =
+  (* Two nodes joined by a capacitor: off-diagonal E entries. *)
+  let nl =
+    Circuit.Netlist.make ~n_nodes:2 ~n_inputs:1 ~output_node:2
+      Circuit.Netlist.
+        [
+          Capacitor { n1 = 1; n2 = 0; c = 1.0 };
+          Capacitor { n1 = 2; n2 = 0; c = 1.0 };
+          Capacitor { n1 = 1; n2 = 2; c = 0.5 };
+          Resistor { n1 = 1; n2 = 2; r = 1.0 };
+          Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 };
+        ]
+  in
+  let a = Circuit.Netlist.assemble nl in
+  let e = a.Circuit.Netlist.e_mat in
+  check_float "E11" 1.5 (Mat.get e 0 0) 1e-15;
+  check_float "E12" (-0.5) (Mat.get e 0 1) 1e-15;
+  check_float "E22" 1.5 (Mat.get e 1 1) 1e-15;
+  let g = a.Circuit.Netlist.g_mat in
+  check_float "G11" 1.0 (Mat.get g 0 0) 1e-15;
+  check_float "G12" (-1.0) (Mat.get g 0 1) 1e-15
+
+let test_inductor_stamp () =
+  (* RLC series: node1 -- L -- node2, caps at both nodes. Inductor adds
+     a current state obeying L i' = v1 - v2. *)
+  let nl =
+    Circuit.Netlist.make ~n_nodes:2 ~n_inputs:1 ~output_node:2
+      Circuit.Netlist.
+        [
+          Capacitor { n1 = 1; n2 = 0; c = 1.0 };
+          Capacitor { n1 = 2; n2 = 0; c = 1.0 };
+          Inductor { n1 = 1; n2 = 2; l = 3.0 };
+          Resistor { n1 = 2; n2 = 0; r = 1.0 };
+          Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 };
+        ]
+  in
+  let a = Circuit.Netlist.assemble nl in
+  Alcotest.(check int) "3 states" 3 a.Circuit.Netlist.n_states;
+  Alcotest.(check int) "1 inductor" 1 a.Circuit.Netlist.n_inductors;
+  let e = a.Circuit.Netlist.e_mat and g = a.Circuit.Netlist.g_mat in
+  check_float "L on diagonal" 3.0 (Mat.get e 2 2) 1e-15;
+  (* -G row of inductor: L i' = v1 - v2 -> -G[2,0] = 1 *)
+  check_float "branch eq v1" (-1.0) (Mat.get g 2 0) 1e-15;
+  check_float "branch eq v2" 1.0 (Mat.get g 2 1) 1e-15;
+  (* KCL: current leaves node 1 *)
+  check_float "KCL node1" 1.0 (Mat.get g 0 2) 1e-15;
+  check_float "KCL node2" (-1.0) (Mat.get g 1 2) 1e-15
+
+let test_rlc_oscillation () =
+  (* LC tank conservation sanity: simulate the raw ODE of an RLC and
+     compare with the analytic damped frequency. *)
+  let nl =
+    Circuit.Netlist.make ~n_nodes:1 ~n_inputs:1 ~output_node:1
+      Circuit.Netlist.
+        [
+          Capacitor { n1 = 1; n2 = 0; c = 1.0 };
+          Inductor { n1 = 1; n2 = 0; l = 1.0 };
+          Resistor { n1 = 1; n2 = 0; r = 100.0 };
+          Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 };
+        ]
+  in
+  let a = Circuit.Netlist.assemble nl in
+  let sys = Circuit.Netlist.to_ode_system a ~input:(fun _ -> Vec.of_list [ 0.0 ]) in
+  let x0 = Vec.of_list [ 1.0; 0.0 ] in
+  (* near-undamped LC: period 2*pi; v(2*pi) ~ v(0) *)
+  let sol =
+    Ode.Rkf45.integrate sys ~t0:0.0 ~t1:(2.0 *. Float.pi) ~x0 ~rtol:1e-10
+      ~atol:1e-12 ~samples:3 ()
+  in
+  check_float "LC period return" 1.0 sol.Ode.Types.states.(2).(0) 0.05
+
+let test_vccs_stamp_and_gain () =
+  (* common-source-style stage: input node 1 (RC), VCCS gm from node 1
+     driving node 2 loaded by R_L: DC gain = -gm * R_L *)
+  let gm = 2.0 and rl = 5.0 in
+  let nl =
+    Circuit.Netlist.make ~n_nodes:2 ~n_inputs:1 ~output_node:2
+      Circuit.Netlist.
+        [
+          Capacitor { n1 = 1; n2 = 0; c = 1.0 };
+          Capacitor { n1 = 2; n2 = 0; c = 1.0 };
+          Resistor { n1 = 1; n2 = 0; r = 1.0 };
+          Resistor { n1 = 2; n2 = 0; r = rl };
+          Vccs { cp = 1; cn = 0; op = 2; on = 0; gm };
+          Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 };
+        ]
+  in
+  let a = Circuit.Netlist.assemble nl in
+  check_float "G[out][in] = gm" gm (Mat.get a.Circuit.Netlist.g_mat 1 0) 1e-15;
+  (* DC: v1 = 1 (unit current into 1 ohm), v2 = -gm*v1*RL *)
+  let sys = Circuit.Netlist.to_ode_system a ~input:(fun _ -> Vec.of_list [ 1.0 ]) in
+  let sol =
+    Ode.Rkf45.integrate sys ~t0:0.0 ~t1:60.0
+      ~x0:(Vec.create a.Circuit.Netlist.n_states)
+      ~samples:3 ()
+  in
+  let xf = sol.Ode.Types.states.(2) in
+  check_float "v1 settles to 1" 1.0 xf.(0) 1e-5;
+  check_float "v2 = -gm RL v1" (-.gm *. rl) xf.(1) 1e-4
+
+(* ---- quadratization: exactness against the raw nonlinear ODE ---- *)
+
+let input_pulse t = Vec.of_list [ 0.3 *. Float.exp (-0.5 *. t) *. (1.0 -. Float.exp (-2.0 *. t)) ]
+
+let test_quadratize_diode_exact () =
+  let m = Circuit.Models.nltl ~stages:6 ~source:(`Voltage 1.0) () in
+  let a = m.Circuit.Models.assembled in
+  let q = Circuit.Models.qldae m in
+  (* raw nonlinear simulation *)
+  let raw_sys = Circuit.Netlist.to_ode_system a ~input:input_pulse in
+  let x0 = Vec.create a.Circuit.Netlist.n_states in
+  let raw =
+    Ode.Rkf45.integrate raw_sys ~t0:0.0 ~t1:8.0 ~x0 ~rtol:1e-9 ~atol:1e-12
+      ~samples:9 ()
+  in
+  (* quadratized simulation from the lifted origin *)
+  let sol =
+    Volterra.Qldae.simulate q ~input:input_pulse ~t0:0.0 ~t1:8.0 ~samples:9
+      ~solver:(Volterra.Qldae.Rkf45 { rtol = 1e-9; atol = 1e-12 })
+  in
+  Array.iteri
+    (fun i raw_x ->
+      let lifted = Circuit.Quadratize.lift a raw_x in
+      check_small "quadratized trajectory matches raw nonlinear ODE"
+        (Vec.dist2 lifted sol.Ode.Types.states.(i))
+        1e-5)
+    raw.Ode.Types.states
+
+let test_quadratize_poly_exact () =
+  let m = Circuit.Models.rf_receiver ~lna_stages:4 ~pa_stages:4 () in
+  let a = m.Circuit.Models.assembled in
+  let q = Circuit.Models.qldae m in
+  let input t = Vec.of_list [ 0.2 *. sin t; 0.1 *. sin (3.0 *. t) ] in
+  let raw_sys = Circuit.Netlist.to_ode_system a ~input in
+  let x0 = Vec.create a.Circuit.Netlist.n_states in
+  let raw =
+    Ode.Rkf45.integrate raw_sys ~t0:0.0 ~t1:6.0 ~x0 ~rtol:1e-9 ~atol:1e-12
+      ~samples:7 ()
+  in
+  let sol =
+    Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:6.0 ~samples:7
+      ~solver:(Volterra.Qldae.Rkf45 { rtol = 1e-9; atol = 1e-12 })
+  in
+  (* no diodes: states coincide directly *)
+  Array.iteri
+    (fun i raw_x ->
+      check_small "poly circuit QLDAE = raw ODE"
+        (Vec.dist2 raw_x sol.Ode.Types.states.(i))
+        1e-5)
+    raw.Ode.Types.states
+
+let test_quadratize_cubic_exact () =
+  let m = Circuit.Models.varistor ~sections:4 () in
+  let a = m.Circuit.Models.assembled in
+  let q = Circuit.Models.qldae m in
+  let input t = Vec.of_list [ 5.0 *. Float.exp (-1.0 *. t) *. (1.0 -. Float.exp (-4.0 *. t)) ] in
+  let raw_sys = Circuit.Netlist.to_ode_system a ~input in
+  let x0 = Vec.create a.Circuit.Netlist.n_states in
+  let raw =
+    Ode.Rkf45.integrate raw_sys ~t0:0.0 ~t1:5.0 ~x0 ~rtol:1e-9 ~atol:1e-12
+      ~samples:6 ()
+  in
+  let sol =
+    Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:5.0 ~samples:6
+      ~solver:(Volterra.Qldae.Rkf45 { rtol = 1e-9; atol = 1e-12 })
+  in
+  Array.iteri
+    (fun i raw_x ->
+      check_small "cubic circuit QLDAE = raw ODE"
+        (Vec.dist2 raw_x sol.Ode.Types.states.(i))
+        1e-4)
+    raw.Ode.Types.states
+
+let test_quadratize_rejects_diode_cubic () =
+  (* a diode sharing a node with a cubic conductor requires quartic
+     terms: must be rejected *)
+  let nl =
+    Circuit.Netlist.make ~n_nodes:1 ~n_inputs:1 ~output_node:1
+      Circuit.Netlist.
+        [
+          Capacitor { n1 = 1; n2 = 0; c = 1.0 };
+          Resistor { n1 = 1; n2 = 0; r = 1.0 };
+          Diode { n1 = 1; n2 = 0; alpha = 40.0; scale = 1.0 };
+          Poly_conductor { n1 = 1; n2 = 0; g1 = 0.0; g2 = 0.0; g3 = 1.0 };
+          Current_source { n1 = 1; n2 = 0; input = 0; gain = 1.0 };
+        ]
+  in
+  let a = Circuit.Netlist.assemble nl in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Circuit.Quadratize.quadratize a);
+       false
+     with Failure _ -> true)
+
+(* ---- model builders: paper dimensions & structure ---- *)
+
+let test_nltl_voltage_dims () =
+  let m = Circuit.Models.nltl_voltage () in
+  let q = Circuit.Models.qldae m in
+  Alcotest.(check int) "100 states (paper Fig. 2)" 100 (Volterra.Qldae.dim q);
+  Alcotest.(check bool) "has D1 (paper §3.1)" true (Volterra.Qldae.has_d1 q);
+  Alcotest.(check bool) "has G2" true (Volterra.Qldae.has_g2 q);
+  Alcotest.(check bool) "no G3" false (Volterra.Qldae.has_g3 q)
+
+let test_nltl_current_dims () =
+  let m = Circuit.Models.nltl_current () in
+  let q = Circuit.Models.qldae m in
+  Alcotest.(check int) "70 states (paper §3.2)" 70 (Volterra.Qldae.dim q);
+  Alcotest.(check bool) "no D1 (paper §3.2)" false (Volterra.Qldae.has_d1 q);
+  Alcotest.(check bool) "has G2" true (Volterra.Qldae.has_g2 q)
+
+let test_rf_receiver_dims () =
+  let m = Circuit.Models.rf_receiver () in
+  let q = Circuit.Models.qldae m in
+  Alcotest.(check int) "173 states (paper §3.3)" 173 (Volterra.Qldae.dim q);
+  Alcotest.(check int) "2 inputs" 2 (Volterra.Qldae.n_inputs q);
+  Alcotest.(check bool) "no D1" false (Volterra.Qldae.has_d1 q)
+
+let test_varistor_dims () =
+  let m = Circuit.Models.varistor () in
+  let q = Circuit.Models.qldae m in
+  Alcotest.(check int) "102 states (paper §3.4)" 102 (Volterra.Qldae.dim q);
+  Alcotest.(check bool) "has G3" true (Volterra.Qldae.has_g3 q);
+  Alcotest.(check bool) "no G2 (cubic only)" false (Volterra.Qldae.has_g2 q);
+  Alcotest.(check bool) "no D1" false (Volterra.Qldae.has_d1 q)
+
+let test_models_stable () =
+  (* The augmented G1 of a quadratized diode circuit has exactly n_aux
+     zero eigenvalues by construction (each auxiliary state y is slaved:
+     y - alpha q^T v has no linear dynamics); every other eigenvalue must
+     be in the open left half-plane. Circuits without diodes must be
+     strictly Hurwitz. This is why diode models expand moments at
+     s0 > 0 (the paper's §4 "non-DC expansion"), where
+     Re(sum of eigenvalues) <= 0 < s0 keeps every shifted Kronecker sum
+     nonsingular. *)
+  List.iter
+    (fun (label, m) ->
+      let q = Circuit.Models.qldae m in
+      let n_aux = m.Circuit.Models.quadratized.Circuit.Quadratize.n_aux in
+      let eigs = Schur.eigenvalues (Schur.decompose q.Volterra.Qldae.g1) in
+      let zeros = ref 0 in
+      Array.iter
+        (fun (z : Complex.t) ->
+          if Complex.norm z < 1e-8 then incr zeros
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: eigenvalue re %.3g < 0" label z.re)
+              true (z.re < 0.0))
+        eigs;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: zero eigenvalues = auxiliary states" label)
+        n_aux !zeros)
+    [
+      ("nltl-v", Circuit.Models.nltl_voltage ~stages:10 ());
+      ("nltl-i", Circuit.Models.nltl_current ~stages:10 ());
+      ("rf", Circuit.Models.rf_receiver ~lna_stages:8 ~pa_stages:8 ());
+      ("varistor", Circuit.Models.varistor ~sections:8 ());
+    ]
+
+let test_equilibrium_at_origin () =
+  (* x = 0, u = 0 must be an equilibrium of every quadratized model. *)
+  List.iter
+    (fun (label, m) ->
+      let q = Circuit.Models.qldae m in
+      let f0 =
+        Volterra.Qldae.rhs q
+          (Vec.create (Volterra.Qldae.dim q))
+          (Vec.create (Volterra.Qldae.n_inputs q))
+      in
+      check_small (label ^ ": f(0,0) = 0") (Vec.norm2 f0) 1e-12)
+    [
+      ("nltl-v", Circuit.Models.nltl_voltage ~stages:6 ());
+      ("nltl-i", Circuit.Models.nltl_current ~stages:6 ());
+      ("rf", Circuit.Models.rf_receiver ~lna_stages:4 ~pa_stages:4 ());
+      ("varistor", Circuit.Models.varistor ~sections:4 ());
+    ]
+
+let test_qldae_jacobian_fd () =
+  (* analytic Jacobian of the QLDAE rhs vs finite differences *)
+  let m = Circuit.Models.nltl ~stages:5 ~source:(`Voltage 1.0) () in
+  let q = Circuit.Models.qldae m in
+  let n = Volterra.Qldae.dim q in
+  let rng = Random.State.make [| 3 |] in
+  let x = Vec.init n (fun _ -> 0.05 *. (Random.State.float rng 2.0 -. 1.0)) in
+  let u = Vec.of_list [ 0.3 ] in
+  let j = Volterra.Qldae.jacobian q x u in
+  let f0 = Volterra.Qldae.rhs q x u in
+  let eps = 1e-7 in
+  for col = 0 to n - 1 do
+    let xp = Vec.copy x in
+    xp.(col) <- xp.(col) +. eps;
+    let fp = Volterra.Qldae.rhs q xp u in
+    let fd = Vec.scale (1.0 /. eps) (Vec.sub fp f0) in
+    check_small
+      (Printf.sprintf "jacobian column %d" col)
+      (Vec.dist2 fd (Mat.col j col))
+      1e-4
+  done
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "circuit.mna",
+      [
+        tc "RC stamp" `Quick test_rc_stamp;
+        tc "floating capacitor stamp" `Quick test_floating_cap_stamp;
+        tc "inductor stamp" `Quick test_inductor_stamp;
+        tc "LC tank dynamics" `Quick test_rlc_oscillation;
+        tc "VCCS stamp and amplifier gain" `Quick test_vccs_stamp_and_gain;
+      ] );
+    ( "circuit.quadratize",
+      [
+        tc "diode ladder exactness" `Slow test_quadratize_diode_exact;
+        tc "quadratic conductor exactness" `Quick test_quadratize_poly_exact;
+        tc "cubic varistor exactness" `Quick test_quadratize_cubic_exact;
+        tc "diode+cubic rejected" `Quick test_quadratize_rejects_diode_cubic;
+      ] );
+    ( "circuit.models",
+      [
+        tc "nltl voltage: 100 states, D1" `Quick test_nltl_voltage_dims;
+        tc "nltl current: 70 states, no D1" `Quick test_nltl_current_dims;
+        tc "rf receiver: 173 states, MISO" `Quick test_rf_receiver_dims;
+        tc "varistor: 102 states, cubic" `Quick test_varistor_dims;
+        tc "all models Hurwitz" `Quick test_models_stable;
+        tc "origin is equilibrium" `Quick test_equilibrium_at_origin;
+        tc "QLDAE jacobian vs finite differences" `Quick test_qldae_jacobian_fd;
+      ] );
+  ]

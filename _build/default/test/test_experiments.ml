@@ -1,0 +1,100 @@
+(* End-to-end smoke tests of the paper-experiment drivers at small
+   scale: every figure pipeline must run, produce finite series, achieve
+   sane accuracy, and carry the structural properties the paper reports
+   (ROM sizes, method ordering). *)
+
+let check_small name value tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %.3e, tol %.1e)" name value tol)
+    true (value <= tol)
+
+let finite_series name (xs : float array) =
+  Alcotest.(check bool) (name ^ " finite") true
+    (Array.for_all Float.is_finite xs)
+
+let check_experiment ?(err_tol = 0.05) (e : Experiments.Common.t) =
+  finite_series "full output" e.Experiments.Common.full_output;
+  Alcotest.(check bool) "has runs" true (e.Experiments.Common.runs <> []);
+  List.iter
+    (fun r ->
+      finite_series (r.Experiments.Common.method_name ^ " output")
+        r.Experiments.Common.output;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s order %d < full %d" r.Experiments.Common.method_name
+           r.Experiments.Common.order e.Experiments.Common.n_full)
+        true
+        (r.Experiments.Common.order < e.Experiments.Common.n_full);
+      check_small
+        (r.Experiments.Common.method_name ^ " accuracy")
+        r.Experiments.Common.max_rel_error err_tol)
+    e.Experiments.Common.runs
+
+let test_fig2 () = check_experiment (Experiments.Paper.fig2 ~scale:0.35 ~samples:101 ())
+
+let test_fig3 () =
+  let e = Experiments.Paper.fig3 ~scale:0.5 ~samples:101 () in
+  check_experiment e;
+  (* structural claim: proposed ROM at most as large as NORM's *)
+  match e.Experiments.Common.runs with
+  | [ at; norm ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "proposed order %d <= NORM order %d"
+         at.Experiments.Common.order norm.Experiments.Common.order)
+      true
+      (at.Experiments.Common.order <= norm.Experiments.Common.order)
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_fig4 () =
+  let e = Experiments.Paper.fig4 ~scale:0.15 ~samples:81 () in
+  check_experiment e
+
+let test_fig5 () =
+  let e = Experiments.Paper.fig5 ~scale:0.4 ~samples:101 () in
+  check_experiment ~err_tol:0.12 e;
+  (* clamping: the output peak must be far below the surge peak *)
+  let peak = Waves.Metrics.peak e.Experiments.Common.full_output in
+  Alcotest.(check bool)
+    (Printf.sprintf "clamped output %.2f << 98" peak)
+    true (peak < 10.0);
+  Alcotest.(check bool) "but nonzero" true (peak > 0.5)
+
+let test_csv_dump () =
+  let e = Experiments.Paper.fig3 ~scale:0.3 ~samples:41 () in
+  let dir = Filename.temp_file "vmorexp" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Experiments.Common.to_csv ~dir e in
+  Alcotest.(check bool) "csv exists" true (Sys.file_exists path);
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "header mentions methods" true
+    (String.length header > 10);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_report_renders () =
+  let e = Experiments.Paper.fig2 ~scale:0.25 ~samples:41 () in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Experiments.Common.report ppf e;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "report nonempty" true (String.length s > 200)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "experiments.figures",
+      [
+        tc "fig2 pipeline (scaled)" `Slow test_fig2;
+        tc "fig3 pipeline + order claim (scaled)" `Slow test_fig3;
+        tc "fig4 pipeline (scaled)" `Slow test_fig4;
+        tc "fig5 pipeline + clamping (scaled)" `Slow test_fig5;
+      ] );
+    ( "experiments.reporting",
+      [
+        tc "csv dump" `Slow test_csv_dump;
+        tc "report rendering" `Slow test_report_renders;
+      ] );
+  ]

@@ -1,0 +1,175 @@
+(* Cross-module property-based tests (qcheck): scaling laws and
+   structural invariants of the Volterra/MOR machinery on randomly
+   generated systems. *)
+
+open La
+
+let gen_stable n =
+  QCheck2.Gen.(
+    array_size (return (n * n)) (float_bound_inclusive 1.0)
+    |> map (fun data ->
+           Mat.sub
+             (Mat.init n n (fun i j -> 0.4 *. (data.((i * n) + j) -. 0.5)))
+             (Mat.scale 1.5 (Mat.identity n))))
+
+let gen_qldae n =
+  QCheck2.Gen.(
+    triple (gen_stable n)
+      (array_size (return (n * n * n)) (float_bound_inclusive 1.0))
+      (array_size (return n) (float_bound_inclusive 1.0))
+    |> map (fun (g1, g2data, bdata) ->
+           let g2 =
+             Sptensor.of_dense ~arity:2 ~n_in:n
+               (Mat.init n (n * n) (fun i j ->
+                    0.25 *. (g2data.((i * n * n) + j) -. 0.5)))
+           in
+           let b = Mat.init n 1 (fun i _ -> bdata.(i) +. 0.1) in
+           let c = Mat.init 1 n (fun _ _ -> 1.0) in
+           Volterra.Qldae.make ~g2 ~g1 ~b ~c ()))
+
+(* H2 associated moments are quadratic in the input vector: replacing b
+   by beta*b scales every H2 moment by beta². *)
+let prop_h2_moments_quadratic_in_b =
+  QCheck2.Test.make ~name:"assoc: H2 moments quadratic in b" ~count:15
+    QCheck2.Gen.(pair (gen_qldae 4) (float_range 0.3 2.0))
+    (fun (q, beta) ->
+      let scaled =
+        Volterra.Qldae.make ~g2:q.Volterra.Qldae.g2 ~g1:q.Volterra.Qldae.g1
+          ~b:(Mat.scale beta q.Volterra.Qldae.b)
+          ~c:q.Volterra.Qldae.c ()
+      in
+      let m1 =
+        Volterra.Assoc.h2_moments (Volterra.Assoc.create ~s0:0.5 q) ~k:2
+      in
+      let m2 =
+        Volterra.Assoc.h2_moments (Volterra.Assoc.create ~s0:0.5 scaled) ~k:2
+      in
+      List.for_all2
+        (fun a b -> Vec.dist2 (Vec.scale (beta *. beta) a) b < 1e-8 *. (1.0 +. Vec.norm2 b))
+        m1 m2)
+
+(* H3 associated moments are cubic in b (quadratic-system case, where H3
+   arises from cascaded G2). *)
+let prop_h3_moments_cubic_in_b =
+  QCheck2.Test.make ~name:"assoc: H3 moments cubic in b" ~count:8
+    QCheck2.Gen.(pair (gen_qldae 3) (float_range 0.5 1.5))
+    (fun (q, beta) ->
+      let scaled =
+        Volterra.Qldae.make ~g2:q.Volterra.Qldae.g2 ~g1:q.Volterra.Qldae.g1
+          ~b:(Mat.scale beta q.Volterra.Qldae.b)
+          ~c:q.Volterra.Qldae.c ()
+      in
+      let m1 =
+        Volterra.Assoc.h3_moments (Volterra.Assoc.create ~s0:0.5 q) ~k:2
+      in
+      let m2 =
+        Volterra.Assoc.h3_moments (Volterra.Assoc.create ~s0:0.5 scaled) ~k:2
+      in
+      List.for_all2
+        (fun a b ->
+          Vec.dist2 (Vec.scale (beta ** 3.0) a) b < 1e-8 *. (1.0 +. Vec.norm2 b))
+        m1 m2)
+
+(* The spectrum of A ⊕ B is the set of pairwise eigenvalue sums. *)
+let prop_kron_sum_spectrum =
+  QCheck2.Test.make ~name:"kron: spec(A ⊕ B) = pairwise sums" ~count:15
+    QCheck2.Gen.(pair (gen_stable 3) (gen_stable 2))
+    (fun (a, b) ->
+      let ea = Schur.eigenvalues (Schur.decompose a) in
+      let eb = Schur.eigenvalues (Schur.decompose b) in
+      let esum = Schur.eigenvalues (Schur.decompose (Kron.sum a b)) in
+      let expected =
+        Array.to_list ea
+        |> List.concat_map (fun za ->
+               Array.to_list eb |> List.map (fun zb -> Complex.add za zb))
+      in
+      (* match greedily *)
+      let remaining = ref expected in
+      Array.for_all
+        (fun z ->
+          match
+            List.partition
+              (fun w -> Complex.norm (Complex.sub z w) < 1e-6)
+              !remaining
+          with
+          | close :: rest_close, rest ->
+            remaining := rest_close @ rest;
+            ignore close;
+            true
+          | [], _ -> false)
+        esum)
+
+(* Galerkin projection with a square orthogonal basis is a change of
+   coordinates: the output transient is invariant. *)
+let prop_projection_orthogonal_invariance =
+  QCheck2.Test.make ~name:"mor: full-rank orthogonal projection preserves output"
+    ~count:8 (gen_qldae 4) (fun q ->
+      let rng = Random.State.make [| 5 |] in
+      let v = Qr.orth_mat (List.init 4 (fun _ -> Mat.random_vec ~rng 4)) in
+      if Mat.cols v < 4 then true
+      else begin
+        let rom = Volterra.Qldae.project q v in
+        let input t = Vec.of_list [ 0.3 *. sin t ] in
+        let s1 = Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:3.0 ~samples:4 in
+        let s2 = Volterra.Qldae.simulate rom ~input ~t0:0.0 ~t1:3.0 ~samples:4 in
+        let y1 = Volterra.Qldae.output q s1 and y2 = Volterra.Qldae.output rom s2 in
+        Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-5) y1 y2
+      end)
+
+(* Quadratization exactness as a property over random ladder circuits. *)
+let prop_quadratize_exact =
+  QCheck2.Test.make ~name:"circuit: quadratization exact on random ladders"
+    ~count:8
+    QCheck2.Gen.(pair (int_range 3 7) (float_range 5.0 20.0))
+    (fun (stages, alpha) ->
+      let m = Circuit.Models.nltl ~stages ~alpha ~source:(`Voltage 1.0) () in
+      let a = m.Circuit.Models.assembled in
+      let q = Circuit.Models.qldae m in
+      let input t = Vec.of_list [ 0.4 *. Float.exp (-0.5 *. t) ] in
+      let raw_sys = Circuit.Netlist.to_ode_system a ~input in
+      let raw =
+        Ode.Rkf45.integrate raw_sys ~t0:0.0 ~t1:4.0
+          ~x0:(Vec.create a.Circuit.Netlist.n_states)
+          ~rtol:1e-9 ~atol:1e-12 ~samples:3 ()
+      in
+      let sol =
+        Volterra.Qldae.simulate q ~input ~t0:0.0 ~t1:4.0 ~samples:3
+          ~solver:(Volterra.Qldae.Rkf45 { rtol = 1e-9; atol = 1e-12 })
+      in
+      let lifted =
+        Circuit.Quadratize.lift a raw.Ode.Types.states.(2)
+      in
+      Vec.dist2 lifted sol.Ode.Types.states.(2) < 1e-4)
+
+(* Transfer-function H2 is bilinear in (G2 scale): doubling G2 doubles
+   H2 (for a D1-free system). *)
+let prop_h2_linear_in_g2 =
+  QCheck2.Test.make ~name:"transfer: H2 linear in G2" ~count:10 (gen_qldae 4)
+    (fun q ->
+      let doubled =
+        Volterra.Qldae.make
+          ~g2:(Sptensor.scale 2.0 q.Volterra.Qldae.g2)
+          ~g1:q.Volterra.Qldae.g1 ~b:q.Volterra.Qldae.b ~c:q.Volterra.Qldae.c ()
+      in
+      let s1 = { Complex.re = 0.2; im = 0.9 }
+      and s2 = { Complex.re = -0.1; im = 1.3 } in
+      let t1 = Volterra.Transfer.create q in
+      let t2 = Volterra.Transfer.create doubled in
+      let h1v = Volterra.Transfer.h2 t1 ~inputs:(0, 0) s1 s2 in
+      let h2v = Volterra.Transfer.h2 t2 ~inputs:(0, 0) s1 s2 in
+      Cvec.dist (Cvec.scale { Complex.re = 2.0; im = 0.0 } h1v) h2v
+      < 1e-9 *. (1.0 +. Cvec.norm2 h2v))
+
+let suite =
+  [
+    ( "properties.cross_module",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_h2_moments_quadratic_in_b;
+          prop_h3_moments_cubic_in_b;
+          prop_kron_sum_spectrum;
+          prop_projection_orthogonal_invariance;
+          prop_quadratize_exact;
+          prop_h2_linear_in_g2;
+        ] );
+  ]

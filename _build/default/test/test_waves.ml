@@ -1,0 +1,170 @@
+(* Tests for the waveform / metrics / reporting substrate. *)
+
+let check_small name value tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %.3e, tol %.1e)" name value tol)
+    true (value <= tol)
+
+let check_float name expected actual tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %.6g, got %.6g)" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol)
+
+(* numerical integral of a source over [0, t1] *)
+let integral f ~t1 =
+  let n = 20000 in
+  let h = t1 /. float_of_int n in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let t = (float_of_int i +. 0.5) *. h in
+    acc := !acc +. (f t *. h)
+  done;
+  !acc
+
+let test_step () =
+  let s = Waves.Source.step ~at:1.0 2.5 in
+  check_float "before" 0.0 (s 0.5) 1e-15;
+  check_float "after" 2.5 (s 1.5) 1e-15
+
+let test_smooth_step_limit () =
+  let s = Waves.Source.smooth_step ~tau:0.5 3.0 in
+  check_float "at 0" 0.0 (s 0.0) 1e-15;
+  check_float "asymptote" 3.0 (s 50.0) 1e-9
+
+let test_sine_frequency () =
+  let s = Waves.Source.sine ~freq:2.0 1.0 in
+  check_float "period" (s 0.1) (s (0.1 +. 0.5)) 1e-12;
+  check_float "amplitude" 1.0 (s (1.0 /. 8.0)) 1e-12
+
+let test_damped_sine_decay () =
+  let s = Waves.Source.damped_sine ~freq:1.0 ~decay:0.5 2.0 in
+  check_float "causal" 0.0 (s (-1.0)) 1e-15;
+  (* envelope at quarter period *)
+  check_float "envelope" (2.0 *. Float.exp (-0.5 *. 0.25)) (s 0.25) 1e-12
+
+let test_raised_cosine_area () =
+  let width = 0.8 and amp = 3.0 in
+  let s = Waves.Source.raised_cosine ~width amp in
+  check_float "area = amp*width/2" (amp *. width /. 2.0)
+    (integral s ~t1:1.0) 1e-4;
+  check_float "zero outside" 0.0 (s 0.9) 1e-15
+
+let test_pulse_train_period () =
+  let s = Waves.Source.pulse_train ~rise:0.1 ~fall:0.1 ~flat:1.0 ~period:4.0 1.0 in
+  check_float "plateau" 1.0 (s 0.5) 1e-12;
+  check_float "off" 0.0 (s 2.0) 1e-12;
+  check_float "periodic" (s 0.5) (s 4.5) 1e-12
+
+let test_surge_peak () =
+  let s = Waves.Source.surge ~t_rise:0.8 ~t_fall:2.0 98.0 in
+  (* peak must be the requested amplitude, at the analytic peak time *)
+  let tpk = Float.log (2.0 /. 0.8) /. ((1.0 /. 0.8) -. (1.0 /. 2.0)) in
+  check_float "peak value" 98.0 (s tpk) 1e-9;
+  check_float "causal" 0.0 (s 0.0) 1e-15;
+  Alcotest.(check bool) "decays" true (s 20.0 < 10.0)
+
+let test_vectorize () =
+  let input =
+    Waves.Source.vectorize [ Waves.Source.constant 1.0; Waves.Source.constant 2.0 ]
+  in
+  let v = input 0.3 in
+  Alcotest.(check int) "two inputs" 2 (Array.length v);
+  check_float "first" 1.0 v.(0) 1e-15;
+  check_float "second" 2.0 v.(1) 1e-15
+
+let test_combinators () =
+  let s =
+    Waves.Source.add
+      (Waves.Source.scale 2.0 (Waves.Source.constant 1.0))
+      (Waves.Source.delay 1.0 (Waves.Source.step 1.0))
+  in
+  check_float "before delay" 2.0 (s 0.5) 1e-15;
+  check_float "after delay" 3.0 (s 1.5) 1e-15
+
+let test_relative_error_series () =
+  let reference = [| 0.0; 1.0; 2.0; -4.0 |] in
+  let approx = [| 0.0; 1.0; 2.2; -4.0 |] in
+  let e = Waves.Metrics.relative_error_series ~reference ~approx in
+  (* normalized by peak |reference| = 4 *)
+  check_float "err at mismatch" 0.05 e.(2) 1e-12;
+  check_float "err elsewhere" 0.0 e.(0) 1e-15;
+  check_float "max" 0.05 (Waves.Metrics.max_relative_error ~reference ~approx) 1e-12
+
+let test_rms () =
+  check_float "rms of constant" 2.0 (Waves.Metrics.rms [| 2.0; 2.0; -2.0 |]) 1e-12;
+  check_float "rms empty" 0.0 (Waves.Metrics.rms [||]) 1e-15;
+  check_float "nrmse" 0.1
+    (Waves.Metrics.nrmse ~reference:[| 1.0; 1.0 |] ~approx:[| 1.1; 0.9 |])
+    1e-12
+
+let test_csv_roundtrip () =
+  let path = Filename.temp_file "vmor_test" ".csv" in
+  Waves.Csv.write ~path ~header:[ "t"; "y" ]
+    [ [| 0.0; 1.0 |]; [| 2.5; -3.5 |] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "3 lines" 3 (List.length lines);
+  Alcotest.(check string) "header" "t,y" (List.hd lines);
+  Alcotest.(check string) "row" "0,2.5" (List.nth lines 1)
+
+let test_csv_validation () =
+  Alcotest.(check bool) "ragged rejected" true
+    (try
+       Waves.Csv.write ~path:"/tmp/nope.csv" ~header:[ "a"; "b" ]
+         [ [| 1.0 |]; [| 1.0; 2.0 |] ];
+       false
+     with Invalid_argument _ -> true)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_asciiplot_renders () =
+  let xs = Array.init 20 float_of_int in
+  let ys = Array.map (fun x -> sin (x /. 3.0)) xs in
+  let s = Waves.Asciiplot.render ~width:40 ~height:10 ~xs [ ("sine", ys) ] in
+  Alcotest.(check bool) "contains glyph" true (String.contains s '*');
+  Alcotest.(check bool) "contains label" true (contains_substring s "sine");
+  (* two series get distinct glyphs *)
+  let s2 =
+    Waves.Asciiplot.render ~width:40 ~height:10 ~xs
+      [ ("a", ys); ("b", Array.map (fun y -> -.y) ys) ]
+  in
+  Alcotest.(check bool) "second glyph" true (String.contains s2 'o')
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "waves.sources",
+      [
+        tc "step" `Quick test_step;
+        tc "smooth step" `Quick test_smooth_step_limit;
+        tc "sine" `Quick test_sine_frequency;
+        tc "damped sine" `Quick test_damped_sine_decay;
+        tc "raised cosine area" `Quick test_raised_cosine_area;
+        tc "pulse train" `Quick test_pulse_train_period;
+        tc "surge normalization" `Quick test_surge_peak;
+        tc "vectorize" `Quick test_vectorize;
+        tc "combinators" `Quick test_combinators;
+      ] );
+    ( "waves.metrics",
+      [
+        tc "relative error series" `Quick test_relative_error_series;
+        tc "rms and nrmse" `Quick test_rms;
+      ] );
+    ( "waves.io",
+      [
+        tc "csv roundtrip" `Quick test_csv_roundtrip;
+        tc "csv validation" `Quick test_csv_validation;
+        tc "asciiplot renders" `Quick test_asciiplot_renders;
+      ] );
+  ]
