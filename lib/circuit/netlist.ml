@@ -153,8 +153,8 @@ let assemble (netlist : t) : assembled =
           { incidence = incidence n1 n2; kind = `Exp (alpha, scale) }
           :: !branches
       | Poly_conductor { n1; n2; g1; g2; g3 } ->
-        if g1 <> 0.0 then stamp_pair g n1 n2 g1;
-        if g2 <> 0.0 || g3 <> 0.0 then
+        if Contract.nonzero g1 then stamp_pair g n1 n2 g1;
+        if Contract.nonzero g2 || Contract.nonzero g3 then
           branches := { incidence = incidence n1 n2; kind = `Poly (g2, g3) } :: !branches
       | Current_source { n1; n2; input; gain } ->
         let a = state_of_node n1 and bq = state_of_node n2 in

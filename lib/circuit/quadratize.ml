@@ -91,19 +91,19 @@ let quadratize (a : Netlist.assembled) : result =
         (fun (j, sj) ->
           List.iter
             (fun (k, sk) ->
-              if p2 <> 0.0 then begin
+              if Contract.nonzero p2 then begin
                 for i = 0 to nv - 1 do
-                  if einv.(i) <> 0.0 then
+                  if Contract.nonzero einv.(i) then
                     g2_entries :=
                       (i, [| j; k |], -.p2 *. einv.(i) *. sj *. sk)
                       :: !g2_entries
                 done
               end;
-              if p3 <> 0.0 then
+              if Contract.nonzero p3 then
                 List.iter
                   (fun (l, sl) ->
                     for i = 0 to nv - 1 do
-                      if einv.(i) <> 0.0 then
+                      if Contract.nonzero einv.(i) then
                         g3_entries :=
                           (i, [| j; k; l |], -.p3 *. einv.(i) *. sj *. sk *. sl)
                           :: !g3_entries
@@ -119,7 +119,7 @@ let quadratize (a : Netlist.assembled) : result =
       (* a_d = A^T q (coefficients of q^T A x) *)
       let a_d = Mat.mul_vec_transpose amat q in
       for j = 0 to nv - 1 do
-        if a_d.(j) <> 0.0 then begin
+        if Contract.nonzero a_d.(j) then begin
           Mat.add_to g1 row j (alpha *. a_d.(j));
           g2_entries := (row, [| row; j |], alpha *. a_d.(j)) :: !g2_entries
         end
@@ -128,7 +128,7 @@ let quadratize (a : Netlist.assembled) : result =
       List.iteri
         (fun e (_, _, _, evec) ->
           let f = Vec.dot q evec in
-          if f <> 0.0 then begin
+          if Contract.nonzero f then begin
             Mat.add_to g1 row (nv + e) (alpha *. f);
             g2_entries := (row, [| row; nv + e |], alpha *. f) :: !g2_entries
           end)
@@ -137,11 +137,11 @@ let quadratize (a : Netlist.assembled) : result =
       List.iter
         (fun (inc, _qc, einv, p2, p3) ->
           let phi_base = Vec.dot q einv in
-          if phi_base <> 0.0 && p3 <> 0.0 then
+          if Contract.nonzero phi_base && Contract.nonzero p3 then
             failwith
               "Quadratize: a diode is coupled to a cubic conductor; the \
                augmented system would need quartic terms (not QLDAE)";
-          if phi_base <> 0.0 && p2 <> 0.0 then begin
+          if Contract.nonzero phi_base && Contract.nonzero p2 then begin
             let phi = -.p2 *. phi_base in
             List.iter
               (fun (j, sj) ->
@@ -157,7 +157,7 @@ let quadratize (a : Netlist.assembled) : result =
       (* input feed: beta_d = q_d^T Btilde *)
       let beta = Mat.mul_vec_transpose btilde q in
       for i = 0 to m - 1 do
-        if beta.(i) <> 0.0 then begin
+        if Contract.nonzero beta.(i) then begin
           Mat.set b row i (alpha *. beta.(i));
           Mat.set d1.(i) row row (alpha *. beta.(i))
         end

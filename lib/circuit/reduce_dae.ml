@@ -35,7 +35,8 @@ let eliminate_algebraic (a : Netlist.assembled) : eliminated =
     Array.init n (fun i ->
         let zero = ref true in
         for j = 0 to n - 1 do
-          if Mat.get e i j <> 0.0 || Mat.get e j i <> 0.0 then zero := false
+          if Contract.nonzero (Mat.get e i j) || Contract.nonzero (Mat.get e j i)
+          then zero := false
         done;
         !zero)
   in

@@ -4,6 +4,7 @@
    the full underlying API for power users. *)
 
 module La = La
+module Contract = Contract
 module Ode = Ode
 module Circuit = Circuit
 module Volterra = Volterra

@@ -14,6 +14,11 @@
     ]} *)
 
 module La = La
+
+(** Numerical contracts layer: shape combinators, [VMOR_CHECKS]-gated
+    value checks, blessed exact-float comparisons (see DESIGN.md). *)
+module Contract = Contract
+
 module Ode = Ode
 module Circuit = Circuit
 module Volterra = Volterra

@@ -1,0 +1,45 @@
+(** The paper's four experiments (§3.1–3.4) and Table 1, parameterized
+    so they can run at paper scale ([scale = 1.0]) or scaled down for
+    smoke runs. *)
+
+(** The paper's moment orders: 6 of H1, 3 of H2, 2 of H3 (§3.1). *)
+val paper_orders : Mor.Atmor.orders
+
+(** [scaled_stages ~scale full] shrinks a ladder length for smoke runs
+    (never below 4 stages). *)
+val scaled_stages : scale:float -> int -> int
+
+(** Shrink an excitation amplitude along with the model so scaled-down
+    ladders are not overdriven. *)
+val scaled_amp : scale:float -> float -> float
+
+(** Halve moment orders when the requested basis would exceed ~n/3 of a
+    (scaled-down) model — guards smoke runs against near-full-order
+    nonlinear Galerkin ROMs. *)
+val cap_orders : n:int -> Mor.Atmor.orders -> Mor.Atmor.orders
+
+(** §3.1 / Fig. 2: NLTL with voltage source (D1 term present). *)
+val fig2 : ?scale:float -> ?samples:int -> unit -> Common.t
+
+(** §3.2 / Fig. 3 + Table 1 rows: NLTL with current source, proposed vs
+    NORM at the same moment orders. *)
+val fig3 : ?scale:float -> ?samples:int -> unit -> Common.t
+
+(** §3.3 / Fig. 4 + Table 1 rows: MISO RF receiver, signal + interfering
+    noise, proposed vs NORM. *)
+val fig4 :
+  ?scale:float ->
+  ?samples:int ->
+  ?h3_triples:[ `All | `Diagonal ] ->
+  unit ->
+  Common.t
+
+(** §3.4 / Fig. 5: ZnO varistor surge protection (cubic ODE), proposed
+    method only, reported in absolute volts on the standing supply. *)
+val fig5 : ?scale:float -> ?samples:int -> unit -> Common.t
+
+(** Table 1 = timing rows of the §3.2 and §3.3 experiments. *)
+val table1 : ?scale:float -> unit -> Common.t list
+
+(** Surge input series for Fig. 5's upper panel. *)
+val fig5_input_series : Common.t -> float array

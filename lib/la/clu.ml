@@ -33,7 +33,7 @@ let factor (a : Cmat.t) =
       done;
     let pr = re.(idx k k) and pi = im.(idx k k) in
     let pm = cmod2 pr pi in
-    if pm = 0.0 then raise (Lu.Singular k);
+    if Contract.is_zero pm then raise (Lu.Singular k);
     for i = k + 1 to n - 1 do
       (* l = a_ik / pivot *)
       let ar = re.(idx i k) and ai = im.(idx i k) in
@@ -41,7 +41,7 @@ let factor (a : Cmat.t) =
       let li = ((ai *. pr) -. (ar *. pi)) /. pm in
       re.(idx i k) <- lr;
       im.(idx i k) <- li;
-      if lr <> 0.0 || li <> 0.0 then
+      if Contract.nonzero lr || Contract.nonzero li then
         for j = k + 1 to n - 1 do
           let ur = re.(idx k j) and ui = im.(idx k j) in
           re.(idx i j) <- re.(idx i j) -. ((lr *. ur) -. (li *. ui));

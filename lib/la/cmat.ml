@@ -103,7 +103,7 @@ let mul a b =
     let arow = i * n and crow = i * p in
     for k = 0 to n - 1 do
       let ar = a.re.(arow + k) and ai = a.im.(arow + k) in
-      if ar <> 0.0 || ai <> 0.0 then begin
+      if Contract.nonzero ar || Contract.nonzero ai then begin
         let brow = k * p in
         for j = 0 to p - 1 do
           let br = b.re.(brow + j) and bi = b.im.(brow + j) in
@@ -139,7 +139,7 @@ let mul_vec_adjoint m (v : Cvec.t) : Cvec.t =
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in
     let vr = v.re.(i) and vi = v.im.(i) in
-    if vr <> 0.0 || vi <> 0.0 then
+    if Contract.nonzero vr || Contract.nonzero vi then
       for j = 0 to m.cols - 1 do
         (* conj(a_ij) * v_i *)
         let ar = m.re.(row + j) and ai = m.im.(row + j) in
@@ -171,6 +171,7 @@ let approx_equal ?(tol = 1e-9) a b =
 let col m j = Cvec.init m.rows (fun i -> get m i j)
 
 let set_col m j (v : Cvec.t) =
+  Contract.require_len "Cmat.set_col" ~expected:m.rows ~actual:(Cvec.dim v);
   for i = 0 to m.rows - 1 do
     set m i j (Cvec.get v i)
   done

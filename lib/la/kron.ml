@@ -12,7 +12,7 @@ let vec (u : Vec.t) (v : Vec.t) : Vec.t =
   let out = Vec.create (m * n) in
   for i = 0 to m - 1 do
     let ui = u.(i) in
-    if ui <> 0.0 then
+    if Contract.nonzero ui then
       for j = 0 to n - 1 do
         out.((i * n) + j) <- ui *. v.(j)
       done
@@ -36,7 +36,7 @@ let mat (a : Mat.t) (b : Mat.t) : Mat.t =
   for i = 0 to ra - 1 do
     for j = 0 to ca - 1 do
       let aij = Mat.get a i j in
-      if aij <> 0.0 then
+      if Contract.nonzero aij then
         for k = 0 to rb - 1 do
           for l = 0 to cb - 1 do
             Mat.set out ((i * rb) + k) ((j * cb) + l) (aij *. Mat.get b k l)
@@ -57,14 +57,14 @@ let mat_pow (m : Mat.t) k =
 
 (* Kronecker sum A ⊕ B = A ⊗ I_nb + I_na ⊗ B (square matrices). *)
 let sum (a : Mat.t) (b : Mat.t) : Mat.t =
-  if not (Mat.is_square a && Mat.is_square b) then
-    invalid_arg "Kron.sum: matrices must be square";
+  Contract.require_square "Kron.sum" (Mat.dims a);
+  Contract.require_square "Kron.sum" (Mat.dims b);
   let na = Mat.rows a and nb = Mat.rows b in
   let out = Mat.create (na * nb) (na * nb) in
   for i = 0 to na - 1 do
     for j = 0 to na - 1 do
       let aij = Mat.get a i j in
-      if aij <> 0.0 then
+      if Contract.nonzero aij then
         for k = 0 to nb - 1 do
           Mat.add_to out ((i * nb) + k) ((j * nb) + k) aij
         done
@@ -95,9 +95,10 @@ let sum_pow (m : Mat.t) k =
 let mat_mul_vec_2 (a : Mat.t) (b : Mat.t) (x : Vec.t) : Vec.t =
   let ra = Mat.rows a and ca = Mat.cols a in
   let rb = Mat.rows b and cb = Mat.cols b in
-  if Array.length x <> ca * cb then invalid_arg "Kron.mat_mul_vec_2: dim";
+  Contract.require_kron_compat "Kron.mat_mul_vec_2" ~rows:ca ~cols:cb
+    ~len:(Array.length x);
   (* t = X Bᵀ : for each row i of X (length cb), t_i = B x_i. *)
-  let t = Array.make (ca * rb) 0.0 in
+  let t = Vec.create (ca * rb) in
   for i = 0 to ca - 1 do
     for k = 0 to rb - 1 do
       let s = ref 0.0 in
@@ -112,7 +113,7 @@ let mat_mul_vec_2 (a : Mat.t) (b : Mat.t) (x : Vec.t) : Vec.t =
   for i = 0 to ra - 1 do
     for j = 0 to ca - 1 do
       let aij = Mat.get a i j in
-      if aij <> 0.0 then
+      if Contract.nonzero aij then
         for k = 0 to rb - 1 do
           out.((i * rb) + k) <- out.((i * rb) + k) +. (aij *. t.((j * rb) + k))
         done
@@ -122,14 +123,17 @@ let mat_mul_vec_2 (a : Mat.t) (b : Mat.t) (x : Vec.t) : Vec.t =
 
 (* (A ⊕ B) x without materializing, A na x na, B nb x nb. *)
 let sum_mul_vec (a : Mat.t) (b : Mat.t) (x : Vec.t) : Vec.t =
+  Contract.require_square "Kron.sum_mul_vec" (Mat.dims a);
+  Contract.require_square "Kron.sum_mul_vec" (Mat.dims b);
   let na = Mat.rows a and nb = Mat.rows b in
-  if Array.length x <> na * nb then invalid_arg "Kron.sum_mul_vec: dim";
+  Contract.require_kron_compat "Kron.sum_mul_vec" ~rows:na ~cols:nb
+    ~len:(Array.length x);
   let out = Vec.create (na * nb) in
   (* (A ⊗ I) x *)
   for i = 0 to na - 1 do
     for j = 0 to na - 1 do
       let aij = Mat.get a i j in
-      if aij <> 0.0 then
+      if Contract.nonzero aij then
         for k = 0 to nb - 1 do
           out.((i * nb) + k) <- out.((i * nb) + k) +. (aij *. x.((j * nb) + k))
         done
@@ -150,7 +154,8 @@ let sum_mul_vec (a : Mat.t) (b : Mat.t) (x : Vec.t) : Vec.t =
 (* Symmetrization of a 2nd Kronecker power coordinate vector:
    sym2 x has entries (x_(i,j) + x_(j,i)) / 2. *)
 let sym2 n (x : Vec.t) : Vec.t =
-  if Array.length x <> n * n then invalid_arg "Kron.sym2: dim";
+  Contract.require_kron_compat "Kron.sym2" ~rows:n ~cols:n
+    ~len:(Array.length x);
   Vec.init (n * n) (fun idx ->
       let i = idx / n and j = idx mod n in
       0.5 *. (x.((i * n) + j) +. x.((j * n) + i)))

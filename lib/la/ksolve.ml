@@ -14,8 +14,15 @@
 type t = { n : int; schur : Schur.t }
 
 let prepare (g : Mat.t) : t =
-  if not (Mat.is_square g) then invalid_arg "Ksolve.prepare: not square";
+  Contract.require_square "Ksolve.prepare" (Mat.dims g);
   { n = Mat.rows g; schur = Schur.decompose g }
+
+let expected_len n k =
+  let s = ref 1 in
+  for _ = 1 to k do
+    s := !s * n
+  done;
+  !s
 
 let of_schur ~n schur = { n; schur }
 
@@ -53,7 +60,13 @@ let min_pole_distance t ~k ~(sigma : Complex.t) =
    slowest) along mode [m] by the n x n complex matrix [mat] (or its
    adjoint). *)
 let mode_mul ~n ~k ~m ?(adjoint = false) (mat : Cmat.t) (x : Cvec.t) : Cvec.t =
+  Contract.require_dims "Ksolve.mode_mul" ~expected:(n, n)
+    ~actual:(Cmat.dims mat);
   let total = Cvec.dim x in
+  Contract.require "Ksolve.mode_mul"
+    (m >= 0 && m < k && total = expected_len n k)
+    "kron incompatibility"
+    (Printf.sprintf "mode %d of order %d, operand length %d, n %d" m k total n);
   let stride_r =
     let s = ref 1 in
     for _ = m + 1 to k - 1 do
@@ -77,7 +90,7 @@ let mode_mul ~n ~k ~m ?(adjoint = false) (mat : Cmat.t) (x : Cvec.t) : Cvec.t =
           if adjoint then (mre.((j * n) + i), -.mim.((j * n) + i))
           else (mre.((i * n) + j), mim.((i * n) + j))
         in
-        if cr <> 0.0 || ci <> 0.0 then begin
+        if Contract.nonzero cr || Contract.nonzero ci then begin
           let xbase = base + (j * stride_r) in
           for r = 0 to stride_r - 1 do
             let xr = xre.(xbase + r) and xi = xim.(xbase + r) in
@@ -92,7 +105,13 @@ let mode_mul ~n ~k ~m ?(adjoint = false) (mat : Cmat.t) (x : Cvec.t) : Cvec.t =
 
 (* Real mode multiply used by the residual checker. *)
 let mode_mul_real ~n ~k ~m (mat : Mat.t) (x : Vec.t) : Vec.t =
+  Contract.require_dims "Ksolve.mode_mul_real" ~expected:(n, n)
+    ~actual:(Mat.dims mat);
   let total = Array.length x in
+  Contract.require "Ksolve.mode_mul_real"
+    (m >= 0 && m < k && total = expected_len n k)
+    "kron incompatibility"
+    (Printf.sprintf "mode %d of order %d, operand length %d, n %d" m k total n);
   let stride_r =
     let s = ref 1 in
     for _ = m + 1 to k - 1 do
@@ -109,7 +128,7 @@ let mode_mul_real ~n ~k ~m (mat : Mat.t) (x : Vec.t) : Vec.t =
       let obase = base + (i * stride_r) in
       for j = 0 to n - 1 do
         let c = Mat.get mat i j in
-        if c <> 0.0 then begin
+        if Contract.nonzero c then begin
           let xbase = base + (j * stride_r) in
           for r = 0 to stride_r - 1 do
             out.(obase + r) <- out.(obase + r) +. (c *. x.(xbase + r))
@@ -137,7 +156,7 @@ let tri_solve (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
         let accr = ref yre.(off + i) and acci = ref yim.(off + i) in
         for j = i + 1 to n - 1 do
           let cr = tre.((i * n) + j) and ci = tim.((i * n) + j) in
-          if cr <> 0.0 || ci <> 0.0 then begin
+          if Contract.nonzero cr || Contract.nonzero ci then begin
             accr := !accr +. ((cr *. yre.(off + j)) -. (ci *. yim.(off + j)));
             acci := !acci +. ((cr *. yim.(off + j)) +. (ci *. yre.(off + j)))
           end
@@ -161,7 +180,7 @@ let tri_solve (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
         (* rhs += sum_{j>i} T[i,j] * y_j-block *)
         for j = i + 1 to n - 1 do
           let cr = tre.((i * n) + j) and ci = tim.((i * n) + j) in
-          if cr <> 0.0 || ci <> 0.0 then begin
+          if Contract.nonzero cr || Contract.nonzero ci then begin
             let bj = off + (j * block) in
             for r = 0 to block - 1 do
               yre.(bi + r) <-
@@ -179,17 +198,11 @@ let tri_solve (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
   go ~k ~off:0 ~sre:sigma.re ~sim:sigma.im;
   y
 
-let expected_len n k =
-  let s = ref 1 in
-  for _ = 1 to k do
-    s := !s * n
-  done;
-  !s
-
 let solve_shifted t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
-  if k < 1 then invalid_arg "Ksolve.solve_shifted: k must be >= 1";
-  if Cvec.dim v <> expected_len t.n k then
-    invalid_arg "Ksolve.solve_shifted: dimension mismatch";
+  Contract.require "Ksolve.solve_shifted" (k >= 1) "kron incompatibility"
+    (Printf.sprintf "order k = %d must be >= 1" k);
+  Contract.require_len "Ksolve.solve_shifted" ~expected:(expected_len t.n k)
+    ~actual:(Cvec.dim v);
   let u = Schur.unitary t.schur and tt = Schur.triangular t.schur in
   (* w = (U^H)⊗k v *)
   let w = ref v in
@@ -238,13 +251,15 @@ let from_schur t ~k (v : Cvec.t) : Cvec.t =
 
 (* U^H b for a real vector: the Schur-basis image of a rank-1 factor. *)
 let adjoint_vec t (b : Vec.t) : Cvec.t =
+  Contract.require_len "Ksolve.adjoint_vec" ~expected:t.n
+    ~actual:(Array.length b);
   Cmat.mul_vec_adjoint (Schur.unitary t.schur) (Cvec.of_real b)
 
 (* The triangular middle solve only: (sigma I - ⊕^k T) y = w for
    Schur-basis data. *)
 let tri_solve_shifted t ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
-  if Cvec.dim w <> expected_len t.n k then
-    invalid_arg "Ksolve.tri_solve_shifted: dimension mismatch";
+  Contract.require_len "Ksolve.tri_solve_shifted"
+    ~expected:(expected_len t.n k) ~actual:(Cvec.dim w);
   tri_solve (Schur.triangular t.schur) ~k ~sigma w
 
 (* The unitary factor, for callers assembling custom Schur-basis

@@ -27,11 +27,11 @@ let factor a =
       sign := -. !sign
     end;
     let pivot = Mat.get lu k k in
-    if pivot = 0.0 then raise (Singular k);
+    if Contract.is_zero pivot then raise (Singular k);
     for i = k + 1 to n - 1 do
       let lik = Mat.get lu i k /. pivot in
       Mat.set lu i k lik;
-      if lik <> 0.0 then
+      if Contract.nonzero lik then
         for j = k + 1 to n - 1 do
           Mat.add_to lu i j (-.lik *. Mat.get lu k j)
         done
@@ -101,4 +101,4 @@ let rcond_estimate a =
   let f = factor a in
   let inv = inverse f in
   let na = Mat.norm1 a and ni = Mat.norm1 inv in
-  if na = 0.0 || ni = 0.0 then 0.0 else 1.0 /. (na *. ni)
+  if Contract.is_zero na || Contract.is_zero ni then 0.0 else 1.0 /. (na *. ni)

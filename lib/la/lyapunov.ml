@@ -6,16 +6,27 @@
 (* Solve A P + P Aᵀ + Q = 0 for stable A (symmetric Q gives symmetric
    P). *)
 let solve ~(a : Mat.t) ~(q : Mat.t) : Mat.t =
+  Contract.require_square "Lyapunov.solve: a" (Mat.dims a);
+  Contract.require_dims "Lyapunov.solve: q" ~expected:(Mat.dims a)
+    ~actual:(Mat.dims q);
   let p = Sylvester.solve ~a ~b:(Mat.neg (Mat.transpose a)) ~c:(Mat.neg q) in
   (* symmetrize (numerical dust) *)
   Mat.scale 0.5 (Mat.add p (Mat.transpose p))
 
 (* Controllability gramian: A P + P Aᵀ + B Bᵀ = 0. *)
 let controllability ~(a : Mat.t) ~(b : Mat.t) : Mat.t =
+  Contract.require "Lyapunov.controllability" (Mat.rows b = Mat.rows a)
+    "dimension mismatch"
+    (Printf.sprintf "b has %d rows, a is %dx%d" (Mat.rows b) (Mat.rows a)
+       (Mat.cols a));
   solve ~a ~q:(Mat.mul b (Mat.transpose b))
 
 (* Observability gramian: Aᵀ Q + Q A + Cᵀ C = 0. *)
 let observability ~(a : Mat.t) ~(c : Mat.t) : Mat.t =
+  Contract.require "Lyapunov.observability" (Mat.cols c = Mat.rows a)
+    "dimension mismatch"
+    (Printf.sprintf "c has %d cols, a is %dx%d" (Mat.cols c) (Mat.rows a)
+       (Mat.cols a));
   solve ~a:(Mat.transpose a) ~q:(Mat.mul (Mat.transpose c) c)
 
 (* Hankel singular values: sqrt of the eigenvalues of P Q. The product
@@ -36,7 +47,7 @@ let hankel_singular_values ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) :
    — a principled reduced-order suggestion for an LTI system. *)
 let suggested_order ?(tol = 1e-6) ~a ~b ~c () =
   let svs = hankel_singular_values ~a ~b ~c in
-  if Array.length svs = 0 || svs.(0) = 0.0 then 0
+  if Array.length svs = 0 || Contract.is_zero svs.(0) then 0
   else begin
     let count = ref 0 in
     Array.iter (fun s -> if s > tol *. svs.(0) then incr count) svs;

@@ -100,7 +100,7 @@ let mul a b =
     let arow = i * n and crow = i * p in
     for k = 0 to n - 1 do
       let aik = a.data.(arow + k) in
-      if aik <> 0.0 then begin
+      if Contract.nonzero aik then begin
         let brow = k * p in
         for j = 0 to p - 1 do
           c.data.(crow + j) <- c.data.(crow + j) +. (aik *. b.data.(brow + j))
@@ -146,7 +146,7 @@ let mul_vec_transpose m (v : Vec.t) : Vec.t =
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in
     let vi = v.(i) in
-    if vi <> 0.0 then
+    if Contract.nonzero vi then
       for j = 0 to m.cols - 1 do
         out.(j) <- out.(j) +. (m.data.(row + j) *. vi)
       done

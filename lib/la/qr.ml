@@ -12,7 +12,8 @@ type t = {
    returns beta and stores the essential part of v in-place. *)
 let factor a =
   let m = Mat.rows a and n = Mat.cols a in
-  if m < n then invalid_arg "Qr.factor: need rows >= cols";
+  Contract.require "Qr.factor" (m >= n) "dimension mismatch"
+    (Printf.sprintf "need rows >= cols, got %dx%d" m n);
   let qr = Mat.copy a in
   let betas = Array.make n 0.0 in
   for k = 0 to n - 1 do
@@ -28,7 +29,7 @@ let factor a =
       let alpha = if akk >= 0.0 then -.normx else normx in
       (* v = x - alpha e1, normalized so v.(k) = 1 *)
       let v0 = akk -. alpha in
-      if v0 <> 0.0 then begin
+      if Contract.nonzero v0 then begin
         for i = k + 1 to m - 1 do
           Mat.set qr i k (Mat.get qr i k /. v0)
         done;
@@ -57,9 +58,10 @@ let r t =
 (* Apply Q (product of Householder reflectors) to a vector: y = Q x,
    where x has length m. Q = H_0 H_1 ... H_{n-1}. *)
 let apply_q t (x : Vec.t) : Vec.t =
+  Contract.require_len "Qr.apply_q" ~expected:t.m ~actual:(Array.length x);
   let y = Vec.copy x in
   for k = t.n - 1 downto 0 do
-    if t.betas.(k) <> 0.0 then begin
+    if Contract.nonzero t.betas.(k) then begin
       let dotv = ref y.(k) in
       for i = k + 1 to t.m - 1 do
         dotv := !dotv +. (Mat.get t.qr i k *. y.(i))
@@ -74,9 +76,10 @@ let apply_q t (x : Vec.t) : Vec.t =
   y
 
 let apply_qt t (x : Vec.t) : Vec.t =
+  Contract.require_len "Qr.apply_qt" ~expected:t.m ~actual:(Array.length x);
   let y = Vec.copy x in
   for k = 0 to t.n - 1 do
-    if t.betas.(k) <> 0.0 then begin
+    if Contract.nonzero t.betas.(k) then begin
       let dotv = ref y.(k) in
       for i = k + 1 to t.m - 1 do
         dotv := !dotv +. (Mat.get t.qr i k *. y.(i))
@@ -99,7 +102,7 @@ let thin_q t =
 
 (* Least squares: minimize ||A x - b||_2 via QR. *)
 let solve_ls t (b : Vec.t) : Vec.t =
-  if Array.length b <> t.m then invalid_arg "Qr.solve_ls: dimension mismatch";
+  Contract.require_len "Qr.solve_ls" ~expected:t.m ~actual:(Array.length b);
   let qtb = apply_qt t b in
   let x = Vec.create t.n in
   for i = t.n - 1 downto 0 do
@@ -108,7 +111,7 @@ let solve_ls t (b : Vec.t) : Vec.t =
       s := !s -. (Mat.get t.qr i j *. x.(j))
     done;
     let rii = Mat.get t.qr i i in
-    if rii = 0.0 then raise (Lu.Singular i);
+    if Contract.is_zero rii then raise (Lu.Singular i);
     x.(i) <- !s /. rii
   done;
   x
@@ -147,7 +150,13 @@ let orthonormalize ?(tol = 1e-10) (vs : Vec.t list) : Vec.t list =
     vs;
   List.rev !basis
 
-let orth_mat ?tol (vs : Vec.t list) = Mat.of_cols (orthonormalize ?tol vs)
+let orth_mat ?tol (vs : Vec.t list) =
+  let m = Mat.of_cols (orthonormalize ?tol vs) in
+  (* projection-basis boundary: both checks are VMOR_CHECKS-gated *)
+  Contract.require_finite "Qr.orth_mat" (Mat.data m);
+  Contract.require_orthonormal "Qr.orth_mat" ~rows:(Mat.rows m)
+    ~cols:(Mat.cols m) (Mat.data m);
+  m
 
 (* Numerical rank via QR with column pivoting on a copy. *)
 let rank ?(tol = 1e-10) a =
@@ -155,7 +164,7 @@ let rank ?(tol = 1e-10) a =
   let w = Mat.copy a in
   let rank = ref 0 in
   let norm0 = Mat.norm_fro a in
-  if norm0 = 0.0 then 0
+  if Contract.is_zero norm0 then 0
   else begin
     (try
        for k = 0 to min m n - 1 do

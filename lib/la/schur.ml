@@ -14,8 +14,8 @@ let max_sweeps_per_eig = 60
    such that G [a; b] = [r; 0]. *)
 let givens (a : Complex.t) (b : Complex.t) =
   let na = Complex.norm a and nb = Complex.norm b in
-  if nb = 0.0 then (1.0, Complex.zero)
-  else if na = 0.0 then (0.0, { Complex.re = 1.0; im = 0.0 })
+  if Contract.is_zero nb then (1.0, Complex.zero)
+  else if Contract.is_zero na then (0.0, { Complex.re = 1.0; im = 0.0 })
   else begin
     let r = Float.hypot na nb in
     let c = na /. r in
@@ -78,7 +78,7 @@ let hessenberg (h : Cmat.t) (u : Cmat.t) =
       let x1 = Cmat.get h (k + 1) k in
       let n1 = Complex.norm x1 in
       let alpha =
-        if n1 = 0.0 then { Complex.re = normx; im = 0.0 }
+        if Contract.is_zero n1 then { Complex.re = normx; im = 0.0 }
         else Complex.mul (Complex.div x1 { re = n1; im = 0.0 })
                { re = normx; im = 0.0 }
       in
@@ -173,7 +173,7 @@ let subdiag_negligible (h : Cmat.t) i =
   let s =
     Complex.norm (Cmat.get h i i) +. Complex.norm (Cmat.get h (i + 1) (i + 1))
   in
-  let s = if s = 0.0 then Cmat.norm_fro h else s in
+  let s = if Contract.is_zero s then Cmat.norm_fro h else s in
   Complex.norm (Cmat.get h (i + 1) i) <= eps *. s
 
 let qr_iterate (h : Cmat.t) (u : Cmat.t) =
@@ -263,5 +263,7 @@ let eigenvalues t = Array.init (Cmat.rows t.t) (fun i -> Cmat.get t.t i i)
 let reconstruct t = Cmat.mul t.u (Cmat.mul t.t (Cmat.adjoint t.u))
 
 let residual ~(a : Mat.t) t =
+  Contract.require_dims "Schur.residual"
+    ~expected:(Cmat.rows t.t, Cmat.cols t.t) ~actual:(Mat.dims a);
   let r = Cmat.sub (reconstruct t) (Cmat.of_real a) in
   Cmat.norm_fro r /. (1.0 +. Mat.norm_fro a)

@@ -68,16 +68,18 @@ let flat_index t (idx : int array) =
   done;
   !f
 
+(* Length n^k of a flat coordinate vector. *)
+let flat_len t =
+  let s = ref 1 in
+  for _ = 1 to t.arity do
+    s := !s * t.n_in
+  done;
+  !s
+
 (* y = M x for a flat coordinate vector x of length n^k. *)
 let apply_flat t (x : Vec.t) : Vec.t =
-  let expect =
-    let s = ref 1 in
-    for _ = 1 to t.arity do
-      s := !s * t.n_in
-    done;
-    !s
-  in
-  if Array.length x <> expect then invalid_arg "Sptensor.apply_flat: dim";
+  Contract.require_len "Sptensor.apply_flat" ~expected:(flat_len t)
+    ~actual:(Array.length x);
   let out = Vec.create t.n_out in
   Array.iter
     (fun e -> out.(e.row) <- out.(e.row) +. (e.coeff *. x.(flat_index t e.idx)))
@@ -85,6 +87,8 @@ let apply_flat t (x : Vec.t) : Vec.t =
   out
 
 let apply_flat_complex t (x : Cvec.t) : Cvec.t =
+  Contract.require_len "Sptensor.apply_flat_complex" ~expected:(flat_len t)
+    ~actual:(Cvec.dim x);
   let out = Cvec.create t.n_out in
   Array.iter
     (fun e ->
@@ -159,7 +163,7 @@ let of_dense ~arity ~n_in (m : Mat.t) : t =
   for r = 0 to Mat.rows m - 1 do
     for c = 0 to Mat.cols m - 1 do
       let x = Mat.get m r c in
-      if x <> 0.0 then begin
+      if Contract.nonzero x then begin
         let idx = Array.make arity 0 in
         let rest = ref c in
         for k = arity - 1 downto 0 do

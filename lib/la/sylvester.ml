@@ -15,7 +15,7 @@ let shifted_tri_solve (t : Cmat.t) (mu : Complex.t) (b : Cvec.t) : Cvec.t =
     let ar = ref x.Cvec.re.(i) and ai = ref x.Cvec.im.(i) in
     for j = i + 1 to n - 1 do
       let cr = tre.((i * n) + j) and ci = tim.((i * n) + j) in
-      if cr <> 0.0 || ci <> 0.0 then begin
+      if Contract.nonzero cr || Contract.nonzero ci then begin
         ar := !ar -. ((cr *. x.Cvec.re.(j)) -. (ci *. x.Cvec.im.(j)));
         ai := !ai -. ((cr *. x.Cvec.im.(j)) +. (ci *. x.Cvec.re.(j)))
       end
@@ -31,11 +31,11 @@ let shifted_tri_solve (t : Cmat.t) (mu : Complex.t) (b : Cvec.t) : Cvec.t =
 (* Generic dense Sylvester: A X - X B = C. Solvable iff the spectra of A
    and B are disjoint. *)
 let solve ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) : Mat.t =
+  Contract.require_square "Sylvester.solve" (Mat.dims a);
+  Contract.require_square "Sylvester.solve" (Mat.dims b);
   let n = Mat.rows a and m = Mat.rows b in
-  if Mat.cols a <> n || Mat.cols b <> m then
-    invalid_arg "Sylvester.solve: A, B must be square";
-  if Mat.rows c <> n || Mat.cols c <> m then
-    invalid_arg "Sylvester.solve: C dimension mismatch";
+  Contract.require_dims "Sylvester.solve" ~expected:(n, m)
+    ~actual:(Mat.dims c);
   let sa = Schur.decompose a and sb = Schur.decompose b in
   let ua = Schur.unitary sa and ta = Schur.triangular sa in
   let ub = Schur.unitary sb and tb = Schur.triangular sb in
@@ -62,8 +62,8 @@ let solve ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) : Mat.t =
 let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
   let u = Schur.unitary schur and t = Schur.triangular schur in
   let n = Cmat.rows u in
-  if Mat.rows g2 <> n || Mat.cols g2 <> n * n then
-    invalid_arg "Sylvester.solve_pi_schur: G2 must be n x n^2";
+  Contract.require_dims "Sylvester.solve_pi_schur" ~expected:(n, n * n)
+    ~actual:(Mat.dims g2);
   (* Solvability needs lambda_i != lambda_j + lambda_k for all triples
      (paper §2.3). Quadratized diode circuits violate it structurally
      (their augmented G1 has zero eigenvalues, and 0 = 0 + 0). *)
@@ -100,7 +100,7 @@ let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
   for r = 0 to n - 1 do
     for i = 0 to n - 1 do
       let urc = Complex.conj (Cmat.get u r i) in
-      if urc.re <> 0.0 || urc.im <> 0.0 then
+      if Contract.nonzero urc.re || Contract.nonzero urc.im then
         for j = 0 to m - 1 do
           Cmat.add_to chat i j
             (Complex.mul urc (Cvec.get chat_rows.(r) j))
@@ -118,14 +118,14 @@ let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
     let rhs = Cmat.col chat j in
     for i1 = 0 to j1 - 1 do
       let coef = Cmat.get t i1 j1 in
-      if coef.re <> 0.0 || coef.im <> 0.0 then
+      if Contract.nonzero coef.re || Contract.nonzero coef.im then
         match ycol.((i1 * n) + j2) with
         | Some c -> Cvec.axpy ~alpha:coef c rhs
         | None -> ()
     done;
     for i2 = 0 to j2 - 1 do
       let coef = Cmat.get t i2 j2 in
-      if coef.re <> 0.0 || coef.im <> 0.0 then
+      if Contract.nonzero coef.re || Contract.nonzero coef.im then
         match ycol.((j1 * n) + i2) with
         | Some c -> Cvec.axpy ~alpha:coef c rhs
         | None -> ()
@@ -146,7 +146,7 @@ let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
   for r = 0 to n - 1 do
     for i = 0 to n - 1 do
       let uir = Cmat.get u i r in
-      if uir.re <> 0.0 || uir.im <> 0.0 then
+      if Contract.nonzero uir.re || Contract.nonzero uir.im then
         for j = 0 to m - 1 do
           Cmat.add_to pi i j (Complex.mul uir (Cvec.get pirows.(r) j))
         done
@@ -159,5 +159,11 @@ let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
 
 (* Residual ‖A X - X B - C‖_F / (1 + ‖C‖_F), for tests. *)
 let residual ~a ~b ~c ~x =
+  Contract.require_square "Sylvester.residual: a" (Mat.dims a);
+  Contract.require_square "Sylvester.residual: b" (Mat.dims b);
+  Contract.require_dims "Sylvester.residual: c"
+    ~expected:(Mat.rows a, Mat.cols b) ~actual:(Mat.dims c);
+  Contract.require_dims "Sylvester.residual: x"
+    ~expected:(Mat.rows a, Mat.cols b) ~actual:(Mat.dims x);
   let r = Mat.sub (Mat.sub (Mat.mul a x) (Mat.mul x b)) c in
   Mat.norm_fro r /. (1.0 +. Mat.norm_fro c)

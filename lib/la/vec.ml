@@ -82,7 +82,7 @@ let dist2 a b = norm2 (sub a b)
 let rel_err ~exact ~approx =
   let d = dist2 exact approx in
   let n = norm2 exact in
-  if n = 0.0 then d else d /. n
+  if Contract.is_zero n then d else d /. n
 
 let approx_equal ?(tol = 1e-9) a b = dist2 a b <= tol *. (1.0 +. norm2 a)
 
@@ -90,7 +90,13 @@ let concat (vs : t list) : t = Array.concat vs
 
 let slice (v : t) ~pos ~len : t = Array.sub v pos len
 
-let blit ~src ~dst ~pos = Array.blit src 0 dst pos (Array.length src)
+let blit ~src ~dst ~pos =
+  Contract.require "Vec.blit"
+    (pos >= 0 && pos + Array.length src <= Array.length dst)
+    "dimension mismatch"
+    (Printf.sprintf "src length %d at offset %d exceeds dst length %d"
+       (Array.length src) pos (Array.length dst));
+  Array.blit src 0 dst pos (Array.length src)
 
 let max_abs_index (v : t) =
   let best = ref 0 in

@@ -13,10 +13,12 @@ type result = {
 }
 
 let run ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k : result =
-  if k < 1 then invalid_arg "Arnoldi.run: k must be >= 1";
+  Contract.require "Arnoldi.run" (k >= 1) "dimension mismatch"
+    (Printf.sprintf "k = %d must be >= 1" k);
+  Contract.require_finite "Arnoldi.run: b" b;
   let n = Array.length b in
   let nb = Vec.norm2 b in
-  if nb = 0.0 then invalid_arg "Arnoldi.run: zero start vector";
+  if Contract.is_zero nb then invalid_arg "Arnoldi.run: zero start vector";
   let vs = Array.make (k + 1) [||] in
   vs.(0) <- Vec.scale (1.0 /. nb) b;
   let h = Mat.create (k + 1) k in
@@ -50,11 +52,17 @@ let run ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k : result =
   for c = 0 to cols - 1 do
     Mat.set_col v c vs.(c)
   done;
+  (* Krylov basis boundary: MGS + reorthogonalization must deliver an
+     orthonormal V (VMOR_CHECKS-gated) *)
+  Contract.require_orthonormal "Arnoldi.run: V" ~rows:n ~cols (Mat.data v);
   { v; h = Mat.submatrix h ~row:0 ~col:0 ~rows:(cols + 1) ~cols; breakdown = !breakdown }
 
 (* Krylov basis of K_k((s0 I - A)^-1, (s0 I - A)^-1 b) — the
    moment-matching subspace of an LTI system about s0. *)
 let shifted_krylov ~(a : Mat.t) ~(b : Vec.t) ~s0 ~k : result =
+  Contract.require_square "Arnoldi.shifted_krylov" (Mat.dims a);
+  Contract.require_len "Arnoldi.shifted_krylov: b" ~expected:(Mat.rows a)
+    ~actual:(Array.length b);
   let n = Mat.rows a in
   let m = Mat.sub (Mat.scale s0 (Mat.identity n)) a in
   let lu = Lu.factor m in

@@ -24,10 +24,24 @@ type result = {
 
 let order t = Mat.cols t.basis
 
+(* Projection-basis boundary checks (VMOR_CHECKS-gated). The
+   orthonormality of the deflating QR is already asserted inside
+   {!La.Qr.orth_mat}; here we re-assert finiteness right before the
+   Galerkin projection consumes the basis. *)
+let check_basis ctx (basis : Mat.t) =
+  Contract.require_finite ctx (Mat.data basis);
+  basis
+
+let require_orders ctx (orders : orders) =
+  Contract.require ctx
+    (orders.k1 >= 0 && orders.k2 >= 0 && orders.k3 >= 0)
+    "dimension mismatch"
+    (Printf.sprintf "moment orders (%d, %d, %d) must be non-negative"
+       orders.k1 orders.k2 orders.k3)
+
 let reduce ?s0 ?(tol = 1e-8) ?(h3_triples = `All) ~(orders : orders)
     (q : Qldae.t) : result =
-  if orders.k1 < 0 || orders.k2 < 0 || orders.k3 < 0 then
-    invalid_arg "Atmor.reduce: moment orders must be non-negative";
+  require_orders "Atmor.reduce" orders;
   let t_start = Unix.gettimeofday () in
   let eng = Assoc.create ?s0 q in
   let m1 = if orders.k1 > 0 then Assoc.h1_moments eng ~k:orders.k1 else [] in
@@ -39,7 +53,7 @@ let reduce ?s0 ?(tol = 1e-8) ?(h3_triples = `All) ~(orders : orders)
   in
   let vectors = m1 @ m2 @ m3 in
   if vectors = [] then invalid_arg "Atmor.reduce: no moments requested";
-  let basis = Qr.orth_mat ~tol vectors in
+  let basis = check_basis "Atmor.reduce: basis" (Qr.orth_mat ~tol vectors) in
   let rom = Qldae.project q basis in
   let dt = Unix.gettimeofday () -. t_start in
   {
@@ -57,6 +71,7 @@ let reduce ?s0 ?(tol = 1e-8) ?(h3_triples = `All) ~(orders : orders)
    generated at several expansion points. *)
 let reduce_multipoint ?(tol = 1e-8) ?(h3_triples = `All) ~(points : float list)
     ~(orders : orders) (q : Qldae.t) : result =
+  require_orders "Atmor.reduce_multipoint" orders;
   if points = [] then invalid_arg "Atmor.reduce_multipoint: no points";
   let t_start = Unix.gettimeofday () in
   let vectors =
@@ -74,7 +89,9 @@ let reduce_multipoint ?(tol = 1e-8) ?(h3_triples = `All) ~(points : float list)
       points
   in
   if vectors = [] then invalid_arg "Atmor.reduce_multipoint: no moments";
-  let basis = Qr.orth_mat ~tol vectors in
+  let basis =
+    check_basis "Atmor.reduce_multipoint: basis" (Qr.orth_mat ~tol vectors)
+  in
   let rom = Qldae.project q basis in
   let dt = Unix.gettimeofday () -. t_start in
   {
@@ -101,8 +118,9 @@ let reduce_multipoint ?(tol = 1e-8) ?(h3_triples = `All) ~(points : float list)
 
 let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
     result =
-  if Qldae.n_inputs q <> 1 then
-    invalid_arg "Atmor.reduce_sylvester: SISO only";
+  require_orders "Atmor.reduce_sylvester" orders;
+  Contract.require_len "Atmor.reduce_sylvester: SISO only" ~expected:1
+    ~actual:(Qldae.n_inputs q);
   let t_start = Unix.gettimeofday () in
   let eng = Assoc.create ?s0 q in
   let s0v = Assoc.s0 eng in
@@ -150,7 +168,9 @@ let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
   in
   let m3 = if orders.k3 > 0 then Assoc.h3_moments eng ~k:orders.k3 else [] in
   let vectors = m1 @ m2 @ m3 in
-  let basis = Qr.orth_mat ~tol vectors in
+  let basis =
+    check_basis "Atmor.reduce_sylvester: basis" (Qr.orth_mat ~tol vectors)
+  in
   let rom = Qldae.project q basis in
   let dt = Unix.gettimeofday () -. t_start in
   {

@@ -39,7 +39,7 @@ let suggest_k1 ?(tol = 1e-6) (q : Qldae.t) : int option =
 let add_to_basis ~tol basis (v : Vec.t) =
   let v = Vec.copy v in
   let norm0 = Vec.norm2 v in
-  if norm0 = 0.0 then false
+  if Contract.is_zero norm0 then false
   else begin
     let project_out () =
       List.iter

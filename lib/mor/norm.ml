@@ -21,6 +21,11 @@ type result = Atmor.result
 let order = Atmor.order
 
 let reduce ?s0 ?(tol = 1e-8) ~(orders : Atmor.orders) (q : Qldae.t) : result =
+  Contract.require "Norm.reduce"
+    (orders.Atmor.k1 >= 0 && orders.Atmor.k2 >= 0 && orders.Atmor.k3 >= 0)
+    "dimension mismatch"
+    (Printf.sprintf "moment orders (%d, %d, %d) must be non-negative"
+       orders.Atmor.k1 orders.Atmor.k2 orders.Atmor.k3);
   let t_start = Unix.gettimeofday () in
   (* reuse the Assoc default so both methods expand at the same point *)
   let s0 =
@@ -150,6 +155,8 @@ let reduce ?s0 ?(tol = 1e-8) ~(orders : Atmor.orders) (q : Qldae.t) : result =
   let vectors = List.rev !vectors in
   if vectors = [] then invalid_arg "Norm.reduce: no moments requested";
   let basis = Qr.orth_mat ~tol vectors in
+  (* projection-basis boundary (VMOR_CHECKS-gated) *)
+  Contract.require_finite "Norm.reduce: basis" (Mat.data basis);
   let rom = Qldae.project q basis in
   let dt = Unix.gettimeofday () -. t_start in
   {

@@ -117,7 +117,7 @@ let rhs (t : t) (z : Vec.t) (u : Vec.t) : Vec.t =
       end)
     t.pieces;
   for i = 0 to Array.length u - 1 do
-    if u.(i) <> 0.0 then begin
+    if Contract.nonzero u.(i) then begin
       Vec.axpy ~alpha:u.(i) (Mat.col t.b_r i) out;
       if Mat.norm_fro t.d1_r.(i) > 0.0 then
         Vec.axpy ~alpha:u.(i) (Mat.mul_vec t.d1_r.(i) z) out
@@ -141,7 +141,7 @@ let jacobian (t : t) (z : Vec.t) (u : Vec.t) : Mat.t =
         done)
     t.pieces;
   for i = 0 to Array.length u - 1 do
-    if u.(i) <> 0.0 then
+    if Contract.nonzero u.(i) then
       for r = 0 to qdim - 1 do
         for c = 0 to qdim - 1 do
           Mat.add_to j r c (u.(i) *. Mat.get t.d1_r.(i) r c)

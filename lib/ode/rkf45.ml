@@ -44,7 +44,7 @@ let attempt (sys : Types.system) stats t h (x : Vec.t) =
   let combine coeffs ks =
     let out = Vec.copy x in
     Array.iteri
-      (fun i coef -> if coef <> 0.0 then Vec.axpy ~alpha:(h *. coef) ks.(i) out)
+      (fun i coef -> if Contract.nonzero coef then Vec.axpy ~alpha:(h *. coef) ks.(i) out)
       coeffs;
     out
   in
@@ -101,7 +101,7 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
       else stats.rejected <- stats.rejected + 1;
       (* PI-ish step update with safety factor *)
       let factor =
-        if enorm = 0.0 then 4.0
+        if Contract.is_zero enorm then 4.0
         else Float.min 4.0 (Float.max 0.1 (0.9 *. (enorm ** (-0.2))))
       in
       h := Float.min hmax (Float.max hmin (step_h *. factor))

@@ -22,17 +22,33 @@ type t = {
 }
 
 let validate t =
-  if Mat.dims t.g1 <> (t.n, t.n) then invalid_arg "Qldae: G1 must be n x n";
-  if Sptensor.arity t.g2 <> 2 || Sptensor.n_in t.g2 <> t.n || Sptensor.n_out t.g2 <> t.n
-  then invalid_arg "Qldae: G2 shape";
-  if Sptensor.arity t.g3 <> 3 || Sptensor.n_in t.g3 <> t.n || Sptensor.n_out t.g3 <> t.n
-  then invalid_arg "Qldae: G3 shape";
-  if Array.length t.d1 <> t.m then invalid_arg "Qldae: need one D1 per input";
+  Contract.require_dims "Qldae.validate: G1" ~expected:(t.n, t.n)
+    ~actual:(Mat.dims t.g1);
+  Contract.require "Qldae.validate: G2"
+    (Sptensor.arity t.g2 = 2 && Sptensor.n_in t.g2 = t.n
+    && Sptensor.n_out t.g2 = t.n)
+    "kron incompatibility"
+    (Printf.sprintf "arity %d, %d -> %d against state dim %d"
+       (Sptensor.arity t.g2) (Sptensor.n_in t.g2) (Sptensor.n_out t.g2) t.n);
+  Contract.require "Qldae.validate: G3"
+    (Sptensor.arity t.g3 = 3 && Sptensor.n_in t.g3 = t.n
+    && Sptensor.n_out t.g3 = t.n)
+    "kron incompatibility"
+    (Printf.sprintf "arity %d, %d -> %d against state dim %d"
+       (Sptensor.arity t.g3) (Sptensor.n_in t.g3) (Sptensor.n_out t.g3) t.n);
+  Contract.require_len "Qldae.validate: D1 count" ~expected:t.m
+    ~actual:(Array.length t.d1);
   Array.iter
-    (fun d -> if Mat.dims d <> (t.n, t.n) then invalid_arg "Qldae: D1 shape")
+    (fun d ->
+      Contract.require_dims "Qldae.validate: D1" ~expected:(t.n, t.n)
+        ~actual:(Mat.dims d))
     t.d1;
-  if Mat.dims t.b <> (t.n, t.m) then invalid_arg "Qldae: b must be n x m";
-  if Mat.cols t.c <> t.n then invalid_arg "Qldae: c must be p x n";
+  Contract.require_dims "Qldae.validate: b" ~expected:(t.n, t.m)
+    ~actual:(Mat.dims t.b);
+  Contract.require_len "Qldae.validate: c cols" ~expected:t.n
+    ~actual:(Mat.cols t.c);
+  Contract.require_finite "Qldae.validate: G1" (Mat.data t.g1);
+  Contract.require_finite "Qldae.validate: b" (Mat.data t.b);
   t
 
 let make ?g2 ?g3 ?d1 ~g1 ~b ~c () =
@@ -70,12 +86,14 @@ let b_col t i = Mat.col t.b i
 
 (* Right-hand side x' = f(x, u). *)
 let rhs t (x : Vec.t) (u : Vec.t) : Vec.t =
+  Contract.require_len "Qldae.rhs: x" ~expected:t.n ~actual:(Array.length x);
+  Contract.require_len "Qldae.rhs: u" ~expected:t.m ~actual:(Array.length u);
   let out = Mat.mul_vec t.g1 x in
   if has_g2 t then Vec.axpy ~alpha:1.0 (Sptensor.apply_pow t.g2 x) out;
   if has_g3 t then Vec.axpy ~alpha:1.0 (Sptensor.apply_pow t.g3 x) out;
   for i = 0 to t.m - 1 do
     let ui = u.(i) in
-    if ui <> 0.0 then begin
+    if Contract.nonzero ui then begin
       Vec.axpy ~alpha:ui (Mat.col t.b i) out;
       if Mat.norm_fro t.d1.(i) > 0.0 then
         Vec.axpy ~alpha:ui (Mat.mul_vec t.d1.(i) x) out
@@ -89,7 +107,7 @@ let jacobian t (x : Vec.t) (u : Vec.t) : Mat.t =
   if has_g2 t then Sptensor.jacobian_add t.g2 x j;
   if has_g3 t then Sptensor.jacobian_add t.g3 x j;
   for i = 0 to t.m - 1 do
-    if u.(i) <> 0.0 then
+    if Contract.nonzero u.(i) then
       for r = 0 to t.n - 1 do
         for c = 0 to t.n - 1 do
           Mat.add_to j r c (u.(i) *. Mat.get t.d1.(i) r c)
@@ -174,8 +192,10 @@ let dc_operating_point ?(tol = 1e-12) ?(max_iter = 50) ?x_init t
    returns the deviation-variable QLDAE (whose state is d = x - x0 and
    input is u~ = u - u0, with equilibrium at the origin). *)
 let shift_equilibrium t ~(x0 : Vec.t) ~(u0 : Vec.t) : t =
-  if Array.length x0 <> t.n || Array.length u0 <> t.m then
-    invalid_arg "Qldae.shift_equilibrium: dimension mismatch";
+  Contract.require_len "Qldae.shift_equilibrium: x0" ~expected:t.n
+    ~actual:(Array.length x0);
+  Contract.require_len "Qldae.shift_equilibrium: u0" ~expected:t.m
+    ~actual:(Array.length u0);
   let residual = rhs t x0 u0 in
   if Vec.norm2 residual > 1e-6 *. (1.0 +. Vec.norm2 x0) then
     invalid_arg "Qldae.shift_equilibrium: (x0, u0) is not an equilibrium";
@@ -191,7 +211,7 @@ let shift_equilibrium t ~(x0 : Vec.t) ~(u0 : Vec.t) : t =
             (* sum over which slot takes x0 — symmetrized G3 makes all
                three equivalent: 3 * coeff * x0.(i1) at (i2, i3) *)
             let i1 = idx.(0) and i2 = idx.(1) and i3 = idx.(2) in
-            if x0.(i1) <> 0.0 then
+            if Contract.nonzero x0.(i1) then
               Some (row, [| i2; i3 |], 3.0 *. coeff *. x0.(i1))
             else None)
           (Sptensor.entries t.g3)
@@ -221,10 +241,14 @@ let shift_equilibrium t ~(x0 : Vec.t) ~(u0 : Vec.t) : t =
    basis V, assumed bi-orthogonal (Wᵀ V = I): the reduced model follows
    x ≈ V xr, xr' = Wᵀ f(V xr, u). *)
 let project_petrov t ~(w : Mat.t) ~(v : Mat.t) : t =
-  if Mat.rows v <> t.n || Mat.rows w <> t.n then
-    invalid_arg "Qldae.project_petrov: basis dimension";
-  if Mat.cols v <> Mat.cols w then
-    invalid_arg "Qldae.project_petrov: bases must have equal width";
+  Contract.require_len "Qldae.project_petrov: V rows" ~expected:t.n
+    ~actual:(Mat.rows v);
+  Contract.require_len "Qldae.project_petrov: W rows" ~expected:t.n
+    ~actual:(Mat.rows w);
+  Contract.require_same_len "Qldae.project_petrov: basis widths" (Mat.cols v)
+    (Mat.cols w);
+  Contract.require_finite "Qldae.project_petrov: V" (Mat.data v);
+  Contract.require_finite "Qldae.project_petrov: W" (Mat.data w);
   let q = Mat.cols v in
   let wt = Mat.transpose w in
   let g1 = Mat.mul wt (Mat.mul t.g1 v) in
@@ -274,7 +298,12 @@ let project_petrov t ~(w : Mat.t) ~(v : Mat.t) : t =
    G1r = Vᵀ G1 V, G2r = Vᵀ G2 (V⊗V), G3r = Vᵀ G3 (V⊗V⊗V),
    D1r = Vᵀ D1 V, br = Vᵀ b, cr = C V. *)
 let project t (v : Mat.t) : t =
-  if Mat.rows v <> t.n then invalid_arg "Qldae.project: basis dimension";
+  Contract.require_len "Qldae.project: basis rows" ~expected:t.n
+    ~actual:(Mat.rows v);
+  (* Galerkin assumes VᵀV = I; both checks are VMOR_CHECKS-gated *)
+  Contract.require_finite "Qldae.project: basis" (Mat.data v);
+  Contract.require_orthonormal "Qldae.project: basis" ~rows:(Mat.rows v)
+    ~cols:(Mat.cols v) (Mat.data v);
   let q = Mat.cols v in
   let vt = Mat.transpose v in
   let g1 = Mat.mul vt (Mat.mul t.g1 v) in

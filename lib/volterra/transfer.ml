@@ -40,7 +40,15 @@ let resolvent t (sigma : Complex.t) =
 
 let solve t sigma v = Clu.solve (resolvent t sigma) v
 
+(* Input column indices must address an existing column of B. *)
+let check_input ctx t i =
+  Contract.require ctx
+    (i >= 0 && i < Qldae.n_inputs t.q)
+    "dimension mismatch"
+    (Printf.sprintf "input index %d outside [0, %d)" i (Qldae.n_inputs t.q))
+
 let h1 t ~input (s : Complex.t) : Cvec.t =
+  check_input "Transfer.h1" t input;
   solve t s (Cvec.of_real (Qldae.b_col t.q input))
 
 (* Complex application of a real matrix. *)
@@ -50,6 +58,8 @@ let apply_real (m : Mat.t) (v : Cvec.t) : Cvec.t =
     ~im:(Mat.mul_vec m (Cvec.imag_part v))
 
 let h2 t ~inputs:(a, b) (s1 : Complex.t) (s2 : Complex.t) : Cvec.t =
+  check_input "Transfer.h2" t a;
+  check_input "Transfer.h2" t b;
   let q = t.q in
   let h1a = h1 t ~input:a s1 and h1b = h1 t ~input:b s2 in
   let rhs = Sptensor.apply_flat_complex q.Qldae.g2 (Cvec.kron h1a h1b) in
@@ -62,6 +72,9 @@ let h2 t ~inputs:(a, b) (s1 : Complex.t) (s2 : Complex.t) : Cvec.t =
 
 let h3 t ~inputs:(a, b, c) (s1 : Complex.t) (s2 : Complex.t) (s3 : Complex.t) :
     Cvec.t =
+  check_input "Transfer.h3" t a;
+  check_input "Transfer.h3" t b;
+  check_input "Transfer.h3" t c;
   let q = t.q in
   let n = Qldae.dim q in
   let rhs = Cvec.create n in

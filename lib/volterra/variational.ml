@@ -30,7 +30,9 @@ let cascade_system (q : Qldae.t) ~(input : float -> Vec.t) : Ode.Types.system =
     let d1x v =
       let acc = Vec.create n in
       Array.iteri
-        (fun i d -> if u.(i) <> 0.0 then Vec.axpy ~alpha:u.(i) (Mat.mul_vec d v) acc)
+        (fun i d ->
+          if Contract.nonzero u.(i) then
+            Vec.axpy ~alpha:u.(i) (Mat.mul_vec d v) acc)
         q.Qldae.d1;
       acc
     in

@@ -14,7 +14,7 @@ let relative_error_series ~(reference : float array) ~(approx : float array) :
   let peak =
     Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 reference
   in
-  let denom = if peak = 0.0 then 1.0 else peak in
+  let denom = if Contract.is_zero peak then 1.0 else peak in
   Array.mapi (fun i r -> Float.abs (r -. approx.(i)) /. denom) reference
 
 let max_relative_error ~reference ~approx =
@@ -37,5 +37,5 @@ let peak (xs : float array) =
 (* Normalized RMS error (RMS of the defect over RMS of the reference). *)
 let nrmse ~reference ~approx =
   let r = rms reference in
-  if r = 0.0 then rms_error ~reference ~approx
+  if Contract.is_zero r then rms_error ~reference ~approx
   else rms_error ~reference ~approx /. r

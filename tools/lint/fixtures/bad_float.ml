@@ -1,0 +1,6 @@
+(* Fixture: float-equality violations. *)
+let is_origin x = x = 0.0
+let lively x = x <> 0.0
+let phys x = x == 1.5
+let negated x = -1.0 = x
+let fine x = Float.equal x 0.0

@@ -1,0 +1,3 @@
+(* Fixture: raw matrix allocation. *)
+let raw rows cols = Array.make (rows * cols) 0.0
+let vector_is_fine n = Array.make n 0.0

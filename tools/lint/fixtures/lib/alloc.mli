@@ -1,0 +1,3 @@
+(* Fixture interface so alloc.ml only trips raw-matrix-alloc. *)
+val raw : int -> int -> float array
+val vector_is_fine : int -> float array

@@ -1,0 +1,4 @@
+(* Fixture: library-code violations (and no .mli sibling). *)
+let debug x = Printf.printf "%f\n" x
+let coerce (x : int) : float = Obj.magic x
+let sprintf_is_fine x = Printf.sprintf "%f" x

@@ -1,0 +1,19 @@
+(* Fixture: dimension-guard rule on exported two-operand functions. *)
+type t = float array
+
+let check_same_len a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "guards: dimension mismatch"
+
+let guarded a b =
+  check_same_len a b;
+  Array.map2 ( +. ) a b
+
+let delegating a b = guarded b a
+
+let inline_guard a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "guards: dimension mismatch"
+  else Array.map2 ( *. ) a b
+
+let bad a b = Array.map2 ( -. ) a b

@@ -1,0 +1,7 @@
+(* Fixture interface: every exported val takes two operands. *)
+type t = float array
+
+val guarded : t -> t -> t
+val delegating : t -> t -> t
+val inline_guard : t -> t -> t
+val bad : t -> t -> t
