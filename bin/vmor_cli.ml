@@ -4,6 +4,48 @@
 
 open Cmdliner
 
+(* Exit codes (documented in README): 0 success, 2 usage error,
+   3 numerical failure, 4 reduction produced but degraded/recovered.
+   Library failures surface as one-line messages, never raw
+   backtraces. *)
+exception Usage_error of string
+
+let exit_usage = 2
+let exit_numerical = 3
+let exit_degraded = 4
+
+let guarded f () =
+  try f () with
+  | Usage_error msg ->
+    Printf.eprintf "vmor: %s\n" msg;
+    exit exit_usage
+  | Robust.Error.Error e ->
+    Printf.eprintf "vmor: numerical failure: %s\n" (Robust.Error.to_string e);
+    exit exit_numerical
+  | La.Ksolve.Near_singular d ->
+    Printf.eprintf
+      "vmor: numerical failure: shifted solve near-singular (pole distance \
+       %.3g)\n"
+      d;
+    exit exit_numerical
+  | La.Lu.Singular col ->
+    Printf.eprintf "vmor: numerical failure: singular matrix (pivot %d)\n" col;
+    exit exit_numerical
+  | Ode.Types.Step_failure msg ->
+    Printf.eprintf "vmor: numerical failure: %s\n" msg;
+    exit exit_numerical
+  | Mor.Balanced.Unstable_linear_part ->
+    Printf.eprintf "vmor: numerical failure: linear part is not Hurwitz\n";
+    exit exit_numerical
+
+(* Degraded-but-produced: report what the recovery layer did, then exit
+   with the dedicated code so scripts can tell clean from recovered. *)
+let finish_with_report (d : Robust.Report.t) =
+  if not (Robust.Report.is_empty d) then begin
+    Printf.printf "recovery events:\n%s\n" (Robust.Report.to_string d);
+    exit exit_degraded
+  end
+
 let setup_logs level =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -37,7 +79,8 @@ let experiment_cmd name title builder =
   in
   Cmd.v
     (Cmd.info name ~doc:title)
-    Term.(const run $ scale_arg $ csv_arg $ plots_arg $ const ())
+    Term.(const (fun scale csv no_plots -> guarded (run scale csv no_plots))
+          $ scale_arg $ csv_arg $ plots_arg $ const ())
 
 let table1_cmd =
   let run scale () =
@@ -46,7 +89,7 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (runtime comparison).")
-    Term.(const run $ scale_arg $ const ())
+    Term.(const (fun scale -> guarded (run scale)) $ scale_arg $ const ())
 
 (* reduce: reduce a bundled model at chosen orders and report *)
 let model_arg =
@@ -87,7 +130,10 @@ let build_model ~scale = function
       (Circuit.Models.varistor
          ~sections:(max 4 (int_of_float (97.0 *. scale)))
          ())
-  | m -> failwith (Printf.sprintf "unknown model %S" m)
+  | m ->
+    raise
+      (Usage_error
+         (Printf.sprintf "unknown model %S (expected nltl-v | nltl-i | rf | varistor)" m))
 
 let reduce_cmd =
   let run model orders method_ s0 scale () =
@@ -99,17 +145,22 @@ let reduce_cmd =
       match method_ with
       | "at" -> Mor.Atmor.reduce ?s0 ~orders q
       | "norm" -> Mor.Norm.reduce ?s0 ~orders q
-      | m -> failwith (Printf.sprintf "unknown method %S" m)
+      | m ->
+        raise
+          (Usage_error (Printf.sprintf "unknown method %S (expected at | norm)" m))
     in
     Printf.printf
       "model %s: %d states -> %d (raw moment vectors %d, s0 = %g, %.2fs)\n"
       model (Volterra.Qldae.dim q) (Mor.Atmor.order r) r.Mor.Atmor.raw_moments
-      r.Mor.Atmor.s0 r.Mor.Atmor.reduction_seconds
+      r.Mor.Atmor.s0 r.Mor.Atmor.reduction_seconds;
+    finish_with_report r.Mor.Atmor.degradation
   in
   Cmd.v
     (Cmd.info "reduce" ~doc:"Reduce a bundled circuit model and report sizes.")
     Term.(
-      const run $ model_arg $ orders_arg $ method_arg $ s0_arg $ scale_arg
+      const (fun model orders method_ s0 scale ->
+          guarded (run model orders method_ s0 scale))
+      $ model_arg $ orders_arg $ method_arg $ s0_arg $ scale_arg
       $ const ())
 
 let autoselect_cmd =
@@ -127,12 +178,14 @@ let autoselect_cmd =
       sel.Mor.Autoselect.chosen.Mor.Atmor.k2
       sel.Mor.Autoselect.chosen.Mor.Atmor.k3
       (Mor.Atmor.order sel.Mor.Autoselect.result)
-      sel.Mor.Autoselect.result.Mor.Atmor.reduction_seconds
+      sel.Mor.Autoselect.result.Mor.Atmor.reduction_seconds;
+    finish_with_report sel.Mor.Autoselect.result.Mor.Atmor.degradation
   in
   Cmd.v
     (Cmd.info "autoselect"
        ~doc:"Automatically select moment orders for a bundled model (§4).")
-    Term.(const run $ model_arg $ scale_arg $ const ())
+    Term.(const (fun model scale -> guarded (run model scale))
+          $ model_arg $ scale_arg $ const ())
 
 let distortion_cmd =
   let freq_arg =
@@ -155,7 +208,8 @@ let distortion_cmd =
   Cmd.v
     (Cmd.info "distortion"
        ~doc:"Single-tone harmonic distortion of a bundled model.")
-    Term.(const run $ model_arg $ scale_arg $ freq_arg $ amp_arg $ const ())
+    Term.(const (fun model scale freq amp -> guarded (run model scale freq amp))
+          $ model_arg $ scale_arg $ freq_arg $ amp_arg $ const ())
 
 let all_cmd =
   let run scale csv no_plots () =
@@ -172,7 +226,8 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment (figures 2-5 and Table 1).")
-    Term.(const run $ scale_arg $ csv_arg $ plots_arg $ const ())
+    Term.(const (fun scale csv no_plots -> guarded (run scale csv no_plots))
+          $ scale_arg $ csv_arg $ plots_arg $ const ())
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

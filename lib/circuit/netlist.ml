@@ -290,5 +290,13 @@ let dc_operating_point ?(tol = 1e-12) ?(max_iter = 80) (a : assembled)
       done
     end
   done;
-  if not !converged then failwith "Netlist.dc_operating_point: Newton stalled";
+  if not !converged then
+    Robust.Error.raise_error
+      (Robust.Error.Convergence_failure
+         {
+           loc =
+             Robust.Error.loc ~subsystem:"circuit"
+               ~operation:"Netlist.dc_operating_point";
+           detail = "Newton stalled";
+         });
   !x

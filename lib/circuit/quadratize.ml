@@ -138,9 +138,16 @@ let quadratize (a : Netlist.assembled) : result =
         (fun (inc, _qc, einv, p2, p3) ->
           let phi_base = Vec.dot q einv in
           if Contract.nonzero phi_base && Contract.nonzero p3 then
-            failwith
-              "Quadratize: a diode is coupled to a cubic conductor; the \
-               augmented system would need quartic terms (not QLDAE)";
+            Robust.Error.raise_error
+              (Robust.Error.Contract_violation
+                 {
+                   loc =
+                     Robust.Error.loc ~subsystem:"circuit"
+                       ~operation:"Quadratize.quadratize";
+                   detail =
+                     "a diode is coupled to a cubic conductor; the augmented \
+                      system would need quartic terms (not QLDAE)";
+                 });
           if Contract.nonzero phi_base && Contract.nonzero p2 then begin
             let phi = -.p2 *. phi_base in
             List.iter

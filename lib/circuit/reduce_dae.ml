@@ -58,13 +58,27 @@ let eliminate_algebraic (a : Netlist.assembled) : eliminated =
         List.iter
           (fun (i, _) ->
             if is_algebraic.(i) then
-              failwith
-                "Reduce_dae: a nonlinear branch touches a purely algebraic \
-                 node (nonlinear constraint not supported)")
+              Robust.Error.raise_error
+                (Robust.Error.Contract_violation
+                   {
+                     loc =
+                       Robust.Error.loc ~subsystem:"circuit"
+                         ~operation:"Reduce_dae.reduce";
+                     detail =
+                       "a nonlinear branch touches a purely algebraic node \
+                        (nonlinear constraint not supported)";
+                   }))
           br.Netlist.incidence)
       a.Netlist.branches;
     if is_algebraic.(a.Netlist.output_index) then
-      failwith "Reduce_dae: output node is algebraic (observe it via recover)";
+      Robust.Error.raise_error
+        (Robust.Error.Contract_violation
+           {
+             loc =
+               Robust.Error.loc ~subsystem:"circuit"
+                 ~operation:"Reduce_dae.reduce";
+             detail = "output node is algebraic (observe it via recover)";
+           });
     let dynamic_index =
       Array.of_list
         (List.filter (fun i -> not is_algebraic.(i)) (List.init n Fun.id))
@@ -84,8 +98,15 @@ let eliminate_algebraic (a : Netlist.assembled) : eliminated =
     let gaa_lu =
       try Lu.factor g_aa
       with Lu.Singular _ ->
-        failwith
-          "Reduce_dae: algebraic block singular (floating algebraic node?)"
+        Robust.Error.raise_error
+          (Robust.Error.Singular_solve
+             {
+               loc =
+                 Robust.Error.loc ~subsystem:"circuit"
+                   ~operation:"Reduce_dae.reduce";
+               shift = Float.nan;
+               distance = 0.0;
+             })
     in
     (* Schur complements *)
     let gaa_inv_gad = Lu.solve_mat gaa_lu g_ad in

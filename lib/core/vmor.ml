@@ -5,6 +5,7 @@
 
 module La = La
 module Contract = Contract
+module Robust = Robust
 module Ode = Ode
 module Circuit = Circuit
 module Volterra = Volterra
@@ -26,6 +27,9 @@ let reduce ?s0 ?tol ?(method_ = Associated_transform) ~orders (q : system) :
   match method_ with
   | Associated_transform -> Mor.Atmor.reduce ?s0 ?tol ~orders q
   | Norm_baseline -> Mor.Norm.reduce ?s0 ?tol ~orders q
+
+(* Recovery events behind a reduction (empty = clean run). *)
+let degradation (r : reduction) : Robust.Report.t = r.Mor.Atmor.degradation
 
 let rom (r : reduction) : system = r.Mor.Atmor.rom
 

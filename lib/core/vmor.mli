@@ -19,6 +19,10 @@ module La = La
     value checks, blessed exact-float comparisons (see DESIGN.md). *)
 module Contract = Contract
 
+(** Typed error taxonomy, retry/fallback policies, recovery reports and
+    fault injection (see DESIGN.md §7). *)
+module Robust = Robust
+
 module Ode = Ode
 module Circuit = Circuit
 module Volterra = Volterra
@@ -42,6 +46,10 @@ val reduce :
 
 (** The reduced-order model of a reduction. *)
 val rom : reduction -> system
+
+(** Recovery events behind a reduction; empty for a clean run,
+    [Robust.Report.degraded] when moment orders were dropped. *)
+val degradation : reduction -> Robust.Report.t
 
 (** Reduced dimension. *)
 val order : reduction -> int

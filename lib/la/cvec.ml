@@ -98,8 +98,13 @@ let dist a b = norm2 (sub a b)
 let to_real ?(tol = 1e-6) v : Vec.t =
   let im = imag_norm v and re = norm2 v in
   if im > tol *. (1.0 +. re) then
-    failwith
-      (Printf.sprintf "Cvec.to_real: imaginary residue %.3e (norm %.3e)" im re);
+    Robust.Error.raise_error
+      (Robust.Error.Contract_violation
+         {
+           loc = Robust.Error.loc ~subsystem:"la" ~operation:"Cvec.to_real";
+           detail =
+             Printf.sprintf "imaginary residue %.3e (norm %.3e)" im re;
+         });
   Array.copy v.re
 
 let kron a b =

@@ -142,8 +142,13 @@ let mode_mul_real ~n ~k ~m (mat : Mat.t) (x : Vec.t) : Vec.t =
 exception Near_singular of float
 
 (* Recursive triangular solve: (sigma I - ⊕^k T) y = w with T upper
-   triangular. Operates in place on a copy of [w]. *)
-let tri_solve (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
+   triangular. Operates in place on a copy of [w]. With [mu] > 0 each
+   scalar division uses the Tikhonov-regularized inverse
+   conj(d) / (|d|^2 + mu^2) — the diagonal regularization behind the
+   recovery ladder's last rung, exact minimum-norm at d = 0. *)
+let tri_solve ?(mu = 0.0) (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t)
+    : Cvec.t =
+  let mu2 = mu *. mu in
   let n = Cmat.rows tmat in
   let tre = tmat.Cmat.re and tim = tmat.Cmat.im in
   let y = Cvec.copy w in
@@ -162,7 +167,7 @@ let tri_solve (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
           end
         done;
         let dr = sre -. tre.((i * n) + i) and di = sim -. tim.((i * n) + i) in
-        let dm = (dr *. dr) +. (di *. di) in
+        let dm = (dr *. dr) +. (di *. di) +. mu2 in
         if dm < 1e-300 then raise (Near_singular (sqrt dm));
         yre.(off + i) <- ((!accr *. dr) +. (!acci *. di)) /. dm;
         yim.(off + i) <- ((!acci *. dr) -. (!accr *. di)) /. dm
@@ -198,7 +203,7 @@ let tri_solve (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
   go ~k ~off:0 ~sre:sigma.re ~sim:sigma.im;
   y
 
-let solve_shifted t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
+let solve_shifted_gen ?mu t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
   Contract.require "Ksolve.solve_shifted" (k >= 1) "kron incompatibility"
     (Printf.sprintf "order k = %d must be >= 1" k);
   Contract.require_len "Ksolve.solve_shifted" ~expected:(expected_len t.n k)
@@ -209,12 +214,18 @@ let solve_shifted t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
   for m = 0 to k - 1 do
     w := mode_mul ~n:t.n ~k ~m ~adjoint:true u !w
   done;
-  let y = tri_solve tt ~k ~sigma !w in
+  let y = tri_solve ?mu tt ~k ~sigma !w in
   let x = ref y in
   for m = 0 to k - 1 do
     x := mode_mul ~n:t.n ~k ~m u !x
   done;
   !x
+
+let solve_shifted t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
+  solve_shifted_gen t ~k ~sigma v
+
+let solve_shifted_reg t ~k ~sigma ~mu (v : Cvec.t) : Cvec.t =
+  solve_shifted_gen ~mu t ~k ~sigma v
 
 let solve_shifted_real t ~k ~sigma (v : Vec.t) : Vec.t =
   let x =
@@ -223,6 +234,23 @@ let solve_shifted_real t ~k ~sigma (v : Vec.t) : Vec.t =
   (* Real data through a complex factorization returns a real answer up
      to rounding; tolerate a modest residue. *)
   Cvec.to_real ~tol:1e-5 x
+
+(* Regularized real solve: conjugate symmetry survives the diagonal
+   regularization, but near an exact pole the rounding residue can be
+   larger, so take the real part without the residue guard. *)
+let solve_shifted_real_reg t ~k ~sigma ~mu (v : Vec.t) : Vec.t =
+  Cvec.real_part
+    (solve_shifted_reg t ~k ~sigma:{ Complex.re = sigma; im = 0.0 } ~mu
+       (Cvec.of_real v))
+
+let try_solve_shifted_real ?(loc = Robust.Error.loc ~subsystem:"la"
+                               ~operation:"Ksolve.solve_shifted_real") t ~k
+    ~sigma (v : Vec.t) : (Vec.t, Robust.Error.t) result =
+  match solve_shifted_real t ~k ~sigma v with
+  | x -> Ok x
+  | exception Near_singular d ->
+    Error (Robust.Error.Singular_solve { loc; shift = sigma; distance = d })
+  | exception Robust.Error.Error e -> Error e
 
 (* ---- Schur-coordinate interface ----
 
@@ -257,10 +285,10 @@ let adjoint_vec t (b : Vec.t) : Cvec.t =
 
 (* The triangular middle solve only: (sigma I - ⊕^k T) y = w for
    Schur-basis data. *)
-let tri_solve_shifted t ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
+let tri_solve_shifted ?mu t ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
   Contract.require_len "Ksolve.tri_solve_shifted"
     ~expected:(expected_len t.n k) ~actual:(Cvec.dim w);
-  tri_solve (Schur.triangular t.schur) ~k ~sigma w
+  tri_solve ?mu (Schur.triangular t.schur) ~k ~sigma w
 
 (* The unitary factor, for callers assembling custom Schur-basis
    operators (e.g. U^H G2 (U ⊗ U)). *)

@@ -36,6 +36,28 @@ val solve_shifted : t -> k:int -> sigma:Complex.t -> Cvec.t -> Cvec.t
     non-negligible imaginary residue. *)
 val solve_shifted_real : t -> k:int -> sigma:float -> Vec.t -> Vec.t
 
+(** Tikhonov-regularized solve: every scalar division in the triangular
+    back-substitution uses [conj(d) / (|d|² + μ²)] — finite even when
+    [σ] sits exactly on a pole (minimum-norm there). The recovery
+    ladder's last rung for shifted Kronecker-sum solves. *)
+val solve_shifted_reg :
+  t -> k:int -> sigma:Complex.t -> mu:float -> Cvec.t -> Cvec.t
+
+(** Real-data variant of {!solve_shifted_reg}. *)
+val solve_shifted_real_reg :
+  t -> k:int -> sigma:float -> mu:float -> Vec.t -> Vec.t
+
+(** Result-returning variant of {!solve_shifted_real}: [Near_singular]
+    becomes [Robust.Error.Singular_solve] with the shift and pole
+    distance. *)
+val try_solve_shifted_real :
+  ?loc:Robust.Error.location ->
+  t ->
+  k:int ->
+  sigma:float ->
+  Vec.t ->
+  (Vec.t, Robust.Error.t) result
+
 (** [apply_shifted ~g ~k ~sigma x] applies [(σ I − ⊕^k G)] to a flat
     real vector — the residual-check companion of the solver. *)
 val apply_shifted : g:Mat.t -> k:int -> sigma:float -> Vec.t -> Vec.t
@@ -57,8 +79,10 @@ val from_schur : t -> k:int -> Cvec.t -> Cvec.t
 val adjoint_vec : t -> Vec.t -> Cvec.t
 
 (** The triangular middle solve only: [(σI − ⊕^k T) y = w] on
-    Schur-basis data. *)
-val tri_solve_shifted : t -> k:int -> sigma:Complex.t -> Cvec.t -> Cvec.t
+    Schur-basis data. [mu] applies the Tikhonov-regularized scalar
+    inverse of {!solve_shifted_reg}. *)
+val tri_solve_shifted :
+  ?mu:float -> t -> k:int -> sigma:Complex.t -> Cvec.t -> Cvec.t
 
 (** The unitary Schur factor, for assembling custom Schur-basis
     operators such as [U^H G2 (U ⊗ U)]. *)

@@ -200,7 +200,14 @@ let qr_iterate (h : Cmat.t) (u : Cmat.t) =
       incr total;
       incr iter_since_deflation;
       if !total > total_budget then
-        failwith "Schur: QR iteration failed to converge";
+        Robust.Error.raise_error
+          (Robust.Error.Convergence_failure
+             {
+               loc =
+                 Robust.Error.loc ~subsystem:"la" ~operation:"Schur.decompose";
+               detail =
+                 Printf.sprintf "QR iteration exceeded %d steps" total_budget;
+             });
       let mu =
         if !iter_since_deflation mod 12 = 0 then begin
           (* Exceptional ad-hoc shift to break limit cycles. *)

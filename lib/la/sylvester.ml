@@ -54,7 +54,12 @@ let solve ~(a : Mat.t) ~(b : Mat.t) ~(c : Mat.t) : Mat.t =
   let x = Cmat.mul ua (Cmat.mul y (Cmat.adjoint ub)) in
   let imag = Mat.norm_fro (Cmat.imag_part x) in
   if imag > 1e-6 *. (1.0 +. Cmat.norm_fro x) then
-    failwith "Sylvester.solve: non-negligible imaginary residue";
+    Robust.Error.raise_error
+      (Robust.Error.Contract_violation
+         {
+           loc = Robust.Error.loc ~subsystem:"la" ~operation:"Sylvester.solve";
+           detail = "non-negligible imaginary residue";
+         });
   Cmat.real_part x
 
 (* Pi from G1 Pi + G2 = Pi (⊕² G1) given the Schur factorization of G1
@@ -154,7 +159,14 @@ let solve_pi_schur ~(schur : Schur.t) ~(g2 : Mat.t) : Mat.t =
   done;
   let imag = Mat.norm_fro (Cmat.imag_part pi) in
   if imag > 1e-5 *. (1.0 +. Cmat.norm_fro pi) then
-    failwith "Sylvester.solve_pi_schur: non-negligible imaginary residue";
+    Robust.Error.raise_error
+      (Robust.Error.Contract_violation
+         {
+           loc =
+             Robust.Error.loc ~subsystem:"la"
+               ~operation:"Sylvester.solve_pi_schur";
+           detail = "non-negligible imaginary residue";
+         });
   Cmat.real_part pi
 
 (* Residual ‖A X - X B - C‖_F / (1 + ‖C‖_F), for tests. *)

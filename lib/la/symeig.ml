@@ -61,7 +61,13 @@ let decompose (a0 : Mat.t) : t =
       done
     done
   done;
-  if !sweeps >= max_sweeps then failwith "Symeig: Jacobi failed to converge";
+  if !sweeps >= max_sweeps then
+    Robust.Error.raise_error
+      (Robust.Error.Convergence_failure
+         {
+           loc = Robust.Error.loc ~subsystem:"la" ~operation:"Symeig.decompose";
+           detail = Printf.sprintf "Jacobi stalled after %d sweeps" max_sweeps;
+         });
   { values = Mat.diagonal a; vectors = v }
 
 (* Eigenpairs sorted by descending eigenvalue. *)

@@ -12,7 +12,7 @@ type result = {
   breakdown : bool;  (* true if the subspace became invariant before k *)
 }
 
-let run ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k : result =
+let run ?recorder ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k () : result =
   Contract.require "Arnoldi.run" (k >= 1) "dimension mismatch"
     (Printf.sprintf "k = %d must be >= 1" k);
   Contract.require_finite "Arnoldi.run: b" b;
@@ -27,6 +27,21 @@ let run ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k : result =
   (try
      while !j < k do
        let w = matvec vs.(!j) in
+       (* A non-finite operator application (faulty matvec, overflow)
+          would poison every later column through MGS; truncate to the
+          j columns built so far — still orthonormal — and report. *)
+       if not (Vec.is_finite w) then begin
+         Robust.Report.record_opt recorder ~action:"degrade:truncate-basis"
+           (Robust.Error.Arnoldi_breakdown
+              {
+                loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Arnoldi.run";
+                step = !j;
+                residual = 0.0;
+              });
+         breakdown := true;
+         incr j;
+         raise Exit
+       end;
        (* MGS with one reorthogonalization pass; h accumulates the total
           projection over both passes *)
        for _pass = 0 to 1 do
@@ -59,11 +74,11 @@ let run ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k : result =
 
 (* Krylov basis of K_k((s0 I - A)^-1, (s0 I - A)^-1 b) — the
    moment-matching subspace of an LTI system about s0. *)
-let shifted_krylov ~(a : Mat.t) ~(b : Vec.t) ~s0 ~k : result =
+let shifted_krylov ?recorder ~(a : Mat.t) ~(b : Vec.t) ~s0 ~k () : result =
   Contract.require_square "Arnoldi.shifted_krylov" (Mat.dims a);
   Contract.require_len "Arnoldi.shifted_krylov: b" ~expected:(Mat.rows a)
     ~actual:(Array.length b);
   let n = Mat.rows a in
   let m = Mat.sub (Mat.scale s0 (Mat.identity n)) a in
   let lu = Lu.factor m in
-  run ~matvec:(Lu.solve lu) ~b:(Lu.solve lu b) ~k
+  run ?recorder ~matvec:(Lu.solve lu) ~b:(Lu.solve lu b) ~k ()

@@ -9,9 +9,25 @@ type result = {
   breakdown : bool;  (** the subspace became invariant before [k] *)
 }
 
-(** Basis of [K_k(A, b)] for the operator given as a closure. *)
-val run : matvec:(Vec.t -> Vec.t) -> b:Vec.t -> k:int -> result
+(** Basis of [K_k(A, b)] for the operator given as a closure. A
+    non-finite [matvec] result truncates the basis at the columns built
+    so far (reported as an [Arnoldi_breakdown] against [recorder], with
+    [breakdown = true]) instead of poisoning later columns. *)
+val run :
+  ?recorder:Robust.Report.recorder ->
+  matvec:(Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  k:int ->
+  unit ->
+  result
 
 (** Basis of [K_k((s0 I − A)⁻¹, (s0 I − A)⁻¹ b)] — the moment-matching
     subspace of an LTI system about [s0]. *)
-val shifted_krylov : a:Mat.t -> b:Vec.t -> s0:float -> k:int -> result
+val shifted_krylov :
+  ?recorder:Robust.Report.recorder ->
+  a:Mat.t ->
+  b:Vec.t ->
+  s0:float ->
+  k:int ->
+  unit ->
+  result

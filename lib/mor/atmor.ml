@@ -20,6 +20,8 @@ type result = {
   raw_moments : int;  (* moment vectors generated before deflation *)
   reduction_seconds : float;  (* moment generation + projection time
                                  (the paper's "Arnoldi" row in Table 1) *)
+  degradation : Robust.Report.t;
+      (* recovery events behind this ROM; empty = clean run *)
 }
 
 let order t = Mat.cols t.basis
@@ -39,45 +41,158 @@ let require_orders ctx (orders : orders) =
     (Printf.sprintf "moment orders (%d, %d, %d) must be non-negative"
        orders.k1 orders.k2 orders.k3)
 
-let reduce ?s0 ?(tol = 1e-8) ?(h3_triples = `All) ~(orders : orders)
-    (q : Qldae.t) : result =
+let reduce_loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Atmor.reduce"
+
+(* One moment-generation attempt at a fixed (orders, expansion point). *)
+type attempt =
+  | Clean of Vec.t list  (* finite moments, no recovery events *)
+  | Usable of Vec.t list * Robust.Error.t  (* finite, but recovered *)
+  | Failed of Robust.Error.t
+
+(* Graceful degradation: candidate expansion points from the policy's
+   deterministic nudge sequence, and when every candidate fails at the
+   requested orders, retry with H3 dropped, then H2 — a lower-order
+   basis with an honest report beats an uncaught exception. The first
+   clean attempt wins; a recovered-but-complete attempt (Tikhonov
+   fallback inside the engine, say) is accepted only once no candidate
+   at that level is clean. *)
+exception Accepted of Vec.t list * float * orders
+
+let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
+    ~(orders : orders) (q : Qldae.t) : result =
   require_orders "Atmor.reduce" orders;
   let t_start = Unix.gettimeofday () in
-  let eng = Assoc.create ?s0 q in
-  let m1 = if orders.k1 > 0 then Assoc.h1_moments eng ~k:orders.k1 else [] in
-  let m2 = if orders.k2 > 0 then Assoc.h2_moments eng ~k:orders.k2 else [] in
-  let m3 =
-    if orders.k3 > 0 then
-      Assoc.h3_moments ~triples_mode:h3_triples eng ~k:orders.k3
-    else []
+  let policy = match policy with Some p -> p | None -> Robust.Policy.default () in
+  let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
+  let mark0 = Robust.Report.mark rec0 in
+  let s0_req = match s0 with Some s -> s | None -> Assoc.default_s0 q in
+  let candidates = Robust.Policy.nudges policy s0_req in
+  let levels =
+    (* requested orders first, then H3 dropped, then H2 as well; levels
+       that cannot produce any moment vector are pointless retries
+       (keep the head so an empty request still errors as before) *)
+    let has2 = Qldae.has_g2 q || Qldae.has_d1 q in
+    let has3 = has2 || Qldae.has_g3 q in
+    let nonempty o =
+      o.k1 > 0 || (o.k2 > 0 && has2) || (o.k3 > 0 && has3)
+    in
+    let dedup =
+      List.fold_left (fun acc o -> if List.mem o acc then acc else o :: acc) []
+    in
+    match
+      List.rev
+        (dedup [ orders; { orders with k3 = 0 }; { orders with k2 = 0; k3 = 0 } ])
+    with
+    | base :: degraded -> base :: List.filter nonempty degraded
+    | [] -> assert false
   in
-  let vectors = m1 @ m2 @ m3 in
-  if vectors = [] then invalid_arg "Atmor.reduce: no moments requested";
+  let nlevels = List.length levels in
+  let attempt eff cand =
+    let mark = Robust.Report.mark rec0 in
+    match
+      let eng = Assoc.create ~recorder:rec0 ~policy ?fault ~s0:cand q in
+      let m1 = if eff.k1 > 0 then Assoc.h1_moments eng ~k:eff.k1 else [] in
+      let m2 = if eff.k2 > 0 then Assoc.h2_moments eng ~k:eff.k2 else [] in
+      let m3 =
+        if eff.k3 > 0 then Assoc.h3_moments ~triples_mode:h3_triples eng ~k:eff.k3
+        else []
+      in
+      m1 @ m2 @ m3
+    with
+    | [] -> invalid_arg "Atmor.reduce: no moments requested"
+    | vectors ->
+      if not (List.for_all Vec.is_finite vectors) then
+        Failed
+          (Robust.Error.Contract_violation
+             {
+               loc = reduce_loc;
+               detail = Printf.sprintf "non-finite moments at s0 = %g" cand;
+             })
+      else begin
+        match Robust.Report.since rec0 mark with
+        | [] -> Clean vectors
+        | events ->
+          Usable (vectors, (List.nth events (List.length events - 1)).error)
+      end
+    | exception exn -> (
+      match Ladder.classify ~loc:reduce_loc exn with
+      | Some err -> Failed err
+      | None -> raise exn)
+  in
+  let attempts = ref 0 and last_err = ref None in
+  let vectors, s0_used, eff_orders =
+    try
+      List.iteri
+        (fun li eff ->
+          let usable = ref None in
+          let rec go = function
+            | [] -> (
+              (* candidates exhausted at this level *)
+              match !usable with
+              | Some (v, s, err) ->
+                Robust.Report.record rec0 ~action:"accept-fallback" err;
+                raise (Accepted (v, s, eff))
+              | None -> (
+                match !last_err with
+                | None -> ()
+                | Some err ->
+                  if li < nlevels - 1 then begin
+                    let next = List.nth levels (li + 1) in
+                    let what = if next.k3 < eff.k3 then "h3" else "h2" in
+                    Robust.Report.record rec0 ~action:("degrade:" ^ what) err
+                  end
+                  else Robust.Report.record rec0 ~action:"exhausted" err))
+            | cand :: rest ->
+              incr attempts;
+              (match attempt eff cand with
+              | Clean v -> raise (Accepted (v, cand, eff))
+              | Usable (v, err) ->
+                if !usable = None then usable := Some (v, cand, err)
+              | Failed err -> (
+                last_err := Some err;
+                match rest with
+                | next :: _ ->
+                  Robust.Report.record rec0
+                    ~action:(Printf.sprintf "nudge:%g" next)
+                    err
+                | [] -> ()));
+              go rest
+          in
+          go candidates)
+        levels;
+      Robust.Error.raise_error
+        (Robust.Error.Budget_exhausted
+           { loc = reduce_loc; attempts = !attempts; last = !last_err })
+    with Accepted (v, s, eff) -> (v, s, eff)
+  in
   let basis = check_basis "Atmor.reduce: basis" (Qr.orth_mat ~tol vectors) in
   let rom = Qldae.project q basis in
   let dt = Unix.gettimeofday () -. t_start in
   {
     basis;
     rom;
-    orders;
-    s0 = Assoc.s0 eng;
+    orders = eff_orders;
+    s0 = s0_used;
     raw_moments = List.length vectors;
     reduction_seconds = dt;
+    degradation = Robust.Report.since rec0 mark0;
   }
 
 (* Multipoint expansion (paper §4, third bullet: "non-DC or multipoint
    frequency expansion is particularly straightforward with this
    associated transform approach"): union of the moment subspaces
    generated at several expansion points. *)
-let reduce_multipoint ?(tol = 1e-8) ?(h3_triples = `All) ~(points : float list)
-    ~(orders : orders) (q : Qldae.t) : result =
+let reduce_multipoint ?recorder ?(tol = 1e-8) ?(h3_triples = `All)
+    ~(points : float list) ~(orders : orders) (q : Qldae.t) : result =
   require_orders "Atmor.reduce_multipoint" orders;
   if points = [] then invalid_arg "Atmor.reduce_multipoint: no points";
   let t_start = Unix.gettimeofday () in
+  let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
+  let mark0 = Robust.Report.mark rec0 in
   let vectors =
     List.concat_map
       (fun s0 ->
-        let eng = Assoc.create ~s0 q in
+        let eng = Assoc.create ~recorder:rec0 ~s0 q in
         let m1 = if orders.k1 > 0 then Assoc.h1_moments eng ~k:orders.k1 else [] in
         let m2 = if orders.k2 > 0 then Assoc.h2_moments eng ~k:orders.k2 else [] in
         let m3 =
@@ -101,6 +216,7 @@ let reduce_multipoint ?(tol = 1e-8) ?(h3_triples = `All) ~(points : float list)
     s0 = List.hd points;
     raw_moments = List.length vectors;
     reduction_seconds = dt;
+    degradation = Robust.Report.since rec0 mark0;
   }
 
 (* ---- eq. 18 ablation: Sylvester-decoupled H2 moment generation ----
@@ -180,4 +296,5 @@ let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
     s0 = s0v;
     raw_moments = List.length vectors;
     reduction_seconds = dt;
+    degradation = Robust.Report.empty;
   }

@@ -17,11 +17,19 @@ type result = {
   basis : Mat.t;  (** [n × q] orthonormal projection matrix *)
   rom : Qldae.t;  (** reduced-order model of dimension [q] *)
   orders : orders;
-  s0 : float;  (** expansion point used *)
+      (** orders actually realized (lower than requested after
+          degradation) *)
+  s0 : float;  (** expansion point used (nudged off the request when it
+                   hit a pole) *)
   raw_moments : int;  (** moment vectors generated before deflation *)
   reduction_seconds : float;
       (** moment generation + projection wall time — the "Arnoldi" row
           of the paper's Table 1 *)
+  degradation : Robust.Report.t;
+      (** recovery events behind this ROM: empty for a clean run; nudge
+          / fallback events for a recovered one;
+          [Robust.Report.degraded] is true when moment orders were
+          dropped *)
 }
 
 (** Reduced order [q]. *)
@@ -29,8 +37,21 @@ val order : result -> int
 
 (** Reduce by associated-transform moment matching. [s0] defaults as in
     {!Volterra.Assoc.create}; [tol] is the deflation threshold;
-    [h3_triples] selects MISO third-order coverage (default [`All]). *)
+    [h3_triples] selects MISO third-order coverage (default [`All]).
+
+    Failures degrade gracefully instead of escaping: a singular or
+    near-singular expansion point walks the [policy]'s deterministic
+    nudge sequence [s0·(1+ε·2ʲ)]; when every candidate fails at the
+    requested orders the H3 (then H2) moments are dropped and a
+    lower-order basis is returned, with the full story in
+    [degradation] (and in [recorder], when supplied). [fault] threads a
+    {!Robust.Faultify} plan into the moment engine (each attempt arms a
+    fresh counter). Raises [Robust.Error.Error Budget_exhausted] only
+    when every (orders, point) combination fails. *)
 val reduce :
+  ?recorder:Robust.Report.recorder ->
+  ?policy:Robust.Policy.t ->
+  ?fault:Robust.Faultify.plan ->
   ?s0:float ->
   ?tol:float ->
   ?h3_triples:[ `All | `Diagonal ] ->
@@ -40,8 +61,10 @@ val reduce :
 
 (** Multipoint expansion (paper §4, third bullet): union of the moment
     subspaces generated at each expansion point in [points]. The
-    reported [s0] is the first point. *)
+    reported [s0] is the first point. Per-point engines record their
+    recoveries into [recorder] / [degradation] but do not nudge. *)
 val reduce_multipoint :
+  ?recorder:Robust.Report.recorder ->
   ?tol:float ->
   ?h3_triples:[ `All | `Diagonal ] ->
   points:float list ->

@@ -59,10 +59,79 @@ let add_to_basis ~tol basis (v : Vec.t) =
     else false
   end
 
-let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 = 3 })
-    ?(h3_triples = `All) (q : Qldae.t) : selection =
+let reduce_loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Autoselect.reduce"
+
+let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
+    ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 = 3 }) ?(h3_triples = `All)
+    (q : Qldae.t) : selection =
   let t_start = Unix.gettimeofday () in
-  let eng = Assoc.create ?s0 q in
+  let policy = match policy with Some p -> p | None -> Robust.Policy.default () in
+  let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
+  let mark0 = Robust.Report.mark rec0 in
+  (* Pick the expansion point by probing one H1 moment per candidate of
+     the nudge sequence — a singular (s0 I − G1) or a pole-riding shift
+     fails fast here instead of mid-growth. First clean candidate wins;
+     a recovered-but-finite one is kept as the fallback. The growth run
+     below uses a fresh engine, so fault-injection schedules are not
+     consumed by probing. *)
+  let s0_req = match s0 with Some s -> s | None -> Assoc.default_s0 q in
+  let s0_sel =
+    let rec go attempts last usable = function
+      | [] -> (
+        match usable with
+        | Some (cand, err) ->
+          Robust.Report.record rec0 ~action:"accept-fallback" err;
+          cand
+        | None ->
+          Robust.Error.raise_error
+            (Robust.Error.Budget_exhausted { loc = reduce_loc; attempts; last }))
+      | cand :: rest -> (
+        let mark = Robust.Report.mark rec0 in
+        let keep err =
+          if usable = None then Some (cand, err) else usable
+        in
+        match
+          let eng = Assoc.create ~recorder:rec0 ~policy ~s0:cand q in
+          List.for_all Vec.is_finite (Assoc.h1_moments eng ~k:1)
+        with
+        | true -> (
+          match Robust.Report.since rec0 mark with
+          | [] -> cand
+          | events ->
+            let err =
+              (List.nth events (List.length events - 1)).Robust.Report.error
+            in
+            go (attempts + 1) last (keep err) rest)
+        | false ->
+          let err =
+            Robust.Error.Contract_violation
+              {
+                loc = reduce_loc;
+                detail = Printf.sprintf "non-finite H1 probe at s0 = %g" cand;
+              }
+          in
+          (match rest with
+          | next :: _ ->
+            Robust.Report.record rec0
+              ~action:(Printf.sprintf "nudge:%g" next)
+              err
+          | [] -> ());
+          go (attempts + 1) (Some err) usable rest
+        | exception exn -> (
+          match Ladder.classify ~loc:reduce_loc exn with
+          | None -> raise exn
+          | Some err ->
+            (match rest with
+            | next :: _ ->
+              Robust.Report.record rec0
+                ~action:(Printf.sprintf "nudge:%g" next)
+                err
+            | [] -> ());
+            go (attempts + 1) (Some err) usable rest))
+    in
+    go 0 None None (Robust.Policy.nudges policy s0_req)
+  in
+  let eng = Assoc.create ~recorder:rec0 ~policy ?fault ~s0:s0_sel q in
   let basis = ref [] in
   let raw = ref 0 in
   (* Grow one transfer order: [moments k] returns the k-th step's moment
@@ -81,8 +150,16 @@ let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 =
            List.iter
              (fun s ->
                if step < List.length s then begin
+                 let v = List.nth s step in
+                 if not (Vec.is_finite v) then
+                   Robust.Error.raise_error
+                     (Robust.Error.Contract_violation
+                        {
+                          loc = reduce_loc;
+                          detail = "non-finite moment vector";
+                        });
                  incr raw;
-                 if add_to_basis ~tol:growth_tol basis (List.nth s step) then
+                 if add_to_basis ~tol:growth_tol basis v then
                    any_fresh := true
                end)
              series;
@@ -93,9 +170,23 @@ let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 =
       !chosen
     end
   in
+  (* A transfer order whose series generation fails (classified
+     numerical error, injected fault) is dropped to zero moments — the
+     lower orders still yield a ROM, and the report says what
+     happened. *)
+  let grow_block what ~kmax moments_upto =
+    match grow ~kmax moments_upto with
+    | k -> k
+    | exception exn -> (
+      match Ladder.classify ~loc:reduce_loc exn with
+      | None -> raise exn
+      | Some err ->
+        Robust.Report.record rec0 ~action:("degrade:" ^ what) err;
+        0)
+  in
   let m = Qldae.n_inputs q in
   let k1 =
-    grow ~kmax:max_orders.Atmor.k1 (fun ~k ->
+    grow_block "h1" ~kmax:max_orders.Atmor.k1 (fun ~k ->
         let all = Assoc.h1_moments eng ~k in
         (* split per input: h1_moments returns k vectors per input,
            consecutively *)
@@ -104,7 +195,7 @@ let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 =
   in
   let k2 =
     if Qldae.has_g2 q || Qldae.has_d1 q then
-      grow ~kmax:max_orders.Atmor.k2 (fun ~k ->
+      grow_block "h2" ~kmax:max_orders.Atmor.k2 (fun ~k ->
           List.map
             (fun (a, b) -> Assoc.h2_moment_series eng ~k (a, b))
             (List.concat
@@ -113,7 +204,7 @@ let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 =
   in
   let k3 =
     if Qldae.has_g2 q || Qldae.has_g3 q || Qldae.has_d1 q then
-      grow ~kmax:max_orders.Atmor.k3 (fun ~k ->
+      grow_block "h3" ~kmax:max_orders.Atmor.k3 (fun ~k ->
           let triples =
             match h3_triples with
             | `Diagonal -> List.init m (fun a -> (a, a, a))
@@ -128,6 +219,20 @@ let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 =
           List.map (fun t3 -> Assoc.h3_moment_series eng ~k t3) triples)
     else 0
   in
+  if !basis = [] then
+    Robust.Error.raise_error
+      (Robust.Error.Budget_exhausted
+         {
+           loc = reduce_loc;
+           attempts = 1;
+           last =
+             Some
+               (Robust.Error.Contract_violation
+                  {
+                    loc = reduce_loc;
+                    detail = "every moment series failed; no basis";
+                  });
+         });
   let v = Mat.of_cols (List.rev !basis) in
   let rom = Qldae.project q v in
   let chosen = { Atmor.k1; k2; k3 } in
@@ -140,6 +245,7 @@ let reduce ?s0 ?(growth_tol = 1e-7) ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 =
         s0 = Assoc.s0 eng;
         raw_moments = !raw;
         reduction_seconds = Unix.gettimeofday () -. t_start;
+        degradation = Robust.Report.since rec0 mark0;
       };
     chosen;
   }

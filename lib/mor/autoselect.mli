@@ -23,8 +23,18 @@ val suggest_k1 : ?tol:float -> Qldae.t -> int option
 (** Deflation-driven reduction: grow [k1], then [k2], then [k3] up to
     [max_orders] (default [{k1=12; k2=6; k3=3}]), stopping each series
     when a whole moment step adds no direction above [growth_tol]
-    (default [1e-7]). *)
+    (default [1e-7]).
+
+    Robustness mirrors {!Atmor.reduce}: the expansion point is chosen
+    by probing the [policy]'s nudge sequence, and a transfer order
+    whose series generation fails is dropped to zero moments (recorded
+    as ["degrade:h1"/"h2"/"h3"] in the result's [degradation] and in
+    [recorder]). [fault] arms a {!Robust.Faultify} plan on the growth
+    engine's resolvent. *)
 val reduce :
+  ?recorder:Robust.Report.recorder ->
+  ?policy:Robust.Policy.t ->
+  ?fault:Robust.Faultify.plan ->
   ?s0:float ->
   ?growth_tol:float ->
   ?max_orders:Atmor.orders ->

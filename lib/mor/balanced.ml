@@ -61,7 +61,12 @@ let reduce ?(order : int option) ?(tol = 1e-8) (q : Qldae.t) : result =
   let r = Chol.factor_semidefinite p in
   let s = Chol.factor_semidefinite qg in
   if Mat.cols r = 0 || Mat.cols s = 0 then
-    failwith "Balanced.reduce: zero gramian (uncontrollable or unobservable)";
+    Robust.Error.raise_error
+      (Robust.Error.Contract_violation
+         {
+           loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Balanced.reduce";
+           detail = "zero gramian (uncontrollable or unobservable)";
+         });
   let u, sigma, v1 = thin_svd (Mat.mul (Mat.transpose s) r) in
   let kmax = Array.length sigma in
   let k =
@@ -72,7 +77,13 @@ let reduce ?(order : int option) ?(tol = 1e-8) (q : Qldae.t) : result =
       Array.iter (fun s -> if s > tol *. sigma.(0) then incr count) sigma;
       !count
   in
-  if k = 0 then failwith "Balanced.reduce: nothing above tolerance";
+  if k = 0 then
+    Robust.Error.raise_error
+      (Robust.Error.Contract_violation
+         {
+           loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Balanced.reduce";
+           detail = "nothing above tolerance";
+         });
   let take m cols = Mat.submatrix m ~row:0 ~col:0 ~rows:(Mat.rows m) ~cols in
   let u1 = take u k and v1 = take v1 k in
   let sincv =
@@ -82,3 +93,24 @@ let reduce ?(order : int option) ?(tol = 1e-8) (q : Qldae.t) : result =
   let w = Mat.mul s (Mat.mul u1 sincv) in
   let rom = Qldae.project_petrov q ~w ~v in
   { rom; v; w; hsv = sigma; order = k }
+
+(* Result-returning entry point: an unstable linear part becomes the
+   typed [Non_hurwitz] (with the offending spectral abscissa), other
+   recognized numerical failures their taxonomy class. *)
+let try_reduce ?order ?tol (q : Qldae.t) :
+    (result, Robust.Error.t) Stdlib.result =
+  let loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Balanced.reduce" in
+  match reduce ?order ?tol q with
+  | r -> Ok r
+  | exception Unstable_linear_part ->
+    let eigs = Schur.eigenvalues (Schur.decompose q.Qldae.g1) in
+    let max_re =
+      Array.fold_left
+        (fun acc (z : Complex.t) -> Float.max acc z.re)
+        Float.neg_infinity eigs
+    in
+    Error (Robust.Error.Non_hurwitz { loc; max_re })
+  | exception exn -> (
+    match Ladder.classify ~loc exn with
+    | Some err -> Error err
+    | None -> raise exn)

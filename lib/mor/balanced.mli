@@ -23,3 +23,10 @@ exception Unstable_linear_part
 (** Reduce to [order] states (or to all HSVs above [tol] relative to
     the largest, default [1e-8]). *)
 val reduce : ?order:int -> ?tol:float -> Qldae.t -> result
+
+(** Result-returning variant: {!Unstable_linear_part} becomes the typed
+    [Robust.Error.Non_hurwitz] carrying the spectral abscissa of [G1];
+    other recognized numerical failures map through
+    [La.Ladder.classify]. *)
+val try_reduce :
+  ?order:int -> ?tol:float -> Qldae.t -> (result, Robust.Error.t) Stdlib.result

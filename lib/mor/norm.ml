@@ -166,4 +166,5 @@ let reduce ?s0 ?(tol = 1e-8) ~(orders : Atmor.orders) (q : Qldae.t) : result =
     s0;
     raw_moments = List.length vectors;
     reduction_seconds = dt;
+    degradation = Robust.Report.empty;
   }

@@ -59,4 +59,5 @@ let reduce ?(energy = 0.99999999) ?(max_modes = 40) (q : Qldae.t)
     s0 = Float.nan;
     raw_moments = List.length snapshots;
     reduction_seconds = Unix.gettimeofday () -. t_start;
+    degradation = Robust.Report.empty;
   }

@@ -1,0 +1,51 @@
+(* Transient-solver fallback ladder: adaptive RKF45 first, and when it
+   fails (step underflow on a NaN-producing rhs, or an exhausted step
+   budget on a stiff system) retry with the A-stable implicit
+   trapezoidal rule. The second rung only exists when the system
+   carries a Jacobian — Imtrap requires one. *)
+
+open La
+
+let default_loc = Robust.Error.loc ~subsystem:"ode" ~operation:"Fallback.integrate"
+
+let classify ?(loc = default_loc) : exn -> Robust.Error.t option = function
+  | Types.Step_failure detail ->
+    Some (Robust.Error.Step_failure { loc; time = Float.nan; detail })
+  | Robust.Error.Error e -> Some e
+  | exn -> Ladder.classify ~loc exn
+
+(* Fixed Imtrap step: fine enough to resolve the sampled output, but
+   bounded below so a pathological sample count cannot freeze. *)
+let imtrap_h ~t0 ~t1 ~samples =
+  let span = Float.abs (t1 -. t0) in
+  Float.max (1e-9 *. Float.max 1.0 span)
+    (span /. (8.0 *. float_of_int (max 2 samples)))
+
+let try_integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?rtol ?atol ?h0
+    ?hmax ?max_steps ?recorder ~samples () :
+    (Types.solution, Robust.Error.t) result =
+  let rkf45 () =
+    Rkf45.integrate sys ~t0 ~t1 ~x0 ?rtol ?atol ?h0 ?hmax ?max_steps ?recorder
+      ~samples ()
+  in
+  let rungs =
+    ("rkf45", rkf45)
+    ::
+    (match sys.Types.jac with
+    | None -> []
+    | Some _ ->
+      let h = imtrap_h ~t0 ~t1 ~samples in
+      [ ("imtrap", fun () -> Imtrap.integrate sys ~t0 ~t1 ~x0 ~h ~samples ()) ])
+  in
+  let finite sol = Array.for_all Vec.is_finite sol.Types.states in
+  Robust.Policy.run_ladder ?recorder ~loc:default_loc ~classify
+    ~validate:finite rungs
+
+let integrate sys ~t0 ~t1 ~x0 ?rtol ?atol ?h0 ?hmax ?max_steps ?recorder
+    ~samples () : Types.solution =
+  match
+    try_integrate sys ~t0 ~t1 ~x0 ?rtol ?atol ?h0 ?hmax ?max_steps ?recorder
+      ~samples ()
+  with
+  | Ok sol -> sol
+  | Error e -> Robust.Error.raise_error e

@@ -1,0 +1,46 @@
+(** Transient-solver fallback ladder: RKF45 first, then (when the
+    system provides a Jacobian) the A-stable implicit trapezoidal
+    rule. Escalations are recorded against the optional recorder with
+    action ["fallback:imtrap"]. *)
+
+open La
+
+val classify : ?loc:Robust.Error.location -> exn -> Robust.Error.t option
+(** Map solver exceptions ([Types.Step_failure], typed robust errors,
+    and the linear-algebra failures recognized by [La.Ladder.classify])
+    to the error taxonomy; [None] for foreign exceptions. *)
+
+val try_integrate :
+  Types.system ->
+  t0:float ->
+  t1:float ->
+  x0:Vec.t ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?hmax:float ->
+  ?max_steps:int ->
+  ?recorder:Robust.Report.recorder ->
+  samples:int ->
+  unit ->
+  (Types.solution, Robust.Error.t) result
+(** Run the ladder; [Error] carries [Budget_exhausted] when every rung
+    fails. Solutions with non-finite states are rejected and trigger
+    escalation. *)
+
+val integrate :
+  Types.system ->
+  t0:float ->
+  t1:float ->
+  x0:Vec.t ->
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?hmax:float ->
+  ?max_steps:int ->
+  ?recorder:Robust.Report.recorder ->
+  samples:int ->
+  unit ->
+  Types.solution
+(** Like [try_integrate] but raising [Robust.Error.Error] on total
+    failure. *)

@@ -64,8 +64,11 @@ let default_rtol = 1e-7
 
 let default_atol = 1e-10
 
+let step_loc = Robust.Error.loc ~subsystem:"ode" ~operation:"Rkf45.integrate"
+
 let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
-    ?(atol = default_atol) ?h0 ?hmax ~samples () : Types.solution =
+    ?(atol = default_atol) ?h0 ?hmax ?(max_steps = max_int) ?recorder ~samples
+    () : Types.solution =
   if Array.length x0 <> sys.dim then invalid_arg "Rkf45.integrate: x0 dimension";
   let stats = Types.new_stats () in
   let span = t1 -. t0 in
@@ -76,9 +79,21 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
   states.(0) <- Vec.copy x0;
   let x = ref (Vec.copy x0) and t = ref t0 in
   let hmin = 1e-13 *. Float.max 1.0 (Float.abs span) in
+  (* Records at most one event per contiguous run of non-finite
+     attempts, so a single recovered NaN shows as one halve-step. *)
+  let nonfinite_streak = ref false in
+  let fail detail =
+    let err =
+      Robust.Error.Step_failure { loc = step_loc; time = !t; detail }
+    in
+    Robust.Report.record_opt recorder ~action:"exhausted" err;
+    raise (Types.Step_failure (Printf.sprintf "Rkf45: %s at t=%.6g" detail !t))
+  in
   for i = 1 to samples - 1 do
     let target = times.(i) in
     while !t < target -. 1e-14 *. Float.abs target do
+      if stats.steps + stats.rejected >= max_steps then
+        fail (Printf.sprintf "step budget (%d) exhausted" max_steps);
       let step_h = Float.min !h (target -. !t) in
       let x5, err = attempt sys stats !t step_h !x in
       (* weighted RMS error norm *)
@@ -90,21 +105,39 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
         acc := !acc +. (e *. e)
       done;
       let enorm = sqrt (!acc /. float_of_int n) in
-      if enorm <= 1.0 || step_h <= hmin then begin
-        if not (Vec.is_finite x5) then
-          raise (Types.Step_failure
-                   (Printf.sprintf "Rkf45: non-finite state at t=%.6g" !t));
+      let finite = Vec.is_finite x5 && Float.is_finite enorm in
+      if finite && (enorm <= 1.0 || step_h <= hmin) then begin
+        nonfinite_streak := false;
         stats.steps <- stats.steps + 1;
         t := !t +. step_h;
         x := x5
       end
       else stats.rejected <- stats.rejected + 1;
-      (* PI-ish step update with safety factor *)
-      let factor =
-        if Contract.is_zero enorm then 4.0
-        else Float.min 4.0 (Float.max 0.1 (0.9 *. (enorm ** (-0.2))))
-      in
-      h := Float.min hmax (Float.max hmin (step_h *. factor))
+      if not finite then begin
+        (* NaN/Inf guard: treat the attempt as rejected and halve the
+           step — the error norm is meaningless, and the old factor
+           update would propagate the NaN into [h] and stall forever. *)
+        if not !nonfinite_streak then begin
+          nonfinite_streak := true;
+          Robust.Report.record_opt recorder ~action:"halve-step"
+            (Robust.Error.Step_failure
+               {
+                 loc = step_loc;
+                 time = !t;
+                 detail = "non-finite step result";
+               })
+        end;
+        if step_h <= hmin then fail "non-finite step result at minimal step";
+        h := Float.max hmin (0.5 *. step_h)
+      end
+      else begin
+        (* PI-ish step update with safety factor *)
+        let factor =
+          if Contract.is_zero enorm then 4.0
+          else Float.min 4.0 (Float.max 0.1 (0.9 *. (enorm ** (-0.2))))
+        in
+        h := Float.min hmax (Float.max hmin (step_h *. factor))
+      end
     done;
     states.(i) <- Vec.copy !x
   done;

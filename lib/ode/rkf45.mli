@@ -9,7 +9,15 @@ val default_atol : float
 
 (** Integrate from [t0] to [t1], sampling the solution on a uniform grid
     of [samples] points. [h0] is the initial step, [hmax] the cap
-    (default: a tenth of the span). *)
+    (default: a tenth of the span).
+
+    Non-finite step results (NaN/Inf from the rhs or an overflowing
+    state) are treated as rejected attempts and halve the step until
+    [hmin]; only then is [Types.Step_failure] raised. [max_steps]
+    bounds the total attempted steps (accepted + rejected) so stiff
+    systems fail fast instead of grinding — exceeding it raises
+    [Types.Step_failure]. Recoveries and final failures are recorded
+    against [recorder]. *)
 val integrate :
   Types.system ->
   t0:float ->
@@ -19,6 +27,8 @@ val integrate :
   ?atol:float ->
   ?h0:float ->
   ?hmax:float ->
+  ?max_steps:int ->
+  ?recorder:Robust.Report.recorder ->
   samples:int ->
   unit ->
   Types.solution

@@ -1,0 +1,57 @@
+(* Deterministic fault injection for closures.
+
+   Wrap a matvec / solve / rhs closure so that its k-th call (and,
+   with [persist], every later call) returns a corrupted output:
+   NaN-poisoned, Inf-poisoned, zeroed (a rank-collapse / singular
+   solve surrogate), or relatively perturbed. Every recovery path in
+   the stack is exercised in tests through these wrappers, with no
+   randomness anywhere.
+
+   A [plan] is immutable and shareable; [make] instantiates it with a
+   fresh call counter, so one plan can be re-armed per engine (retry
+   loops recreate engines, and each attempt must see the same fault
+   schedule). *)
+
+type fault = Nan | Inf | Zero | Perturb of float
+
+type plan = { fault : fault; on_call : int; persist : bool }
+
+type t = { plan : plan; mutable calls : int; mutable fired : int }
+
+let plan ?(on_call = 1) ?(persist = false) fault =
+  if on_call < 1 then invalid_arg "Faultify.plan: on_call must be >= 1";
+  { fault; on_call; persist }
+
+let make plan = { plan; calls = 0; fired = 0 }
+
+let calls t = t.calls
+
+let fired t = t.fired
+
+let fault_name = function
+  | Nan -> "nan"
+  | Inf -> "inf"
+  | Zero -> "zero"
+  | Perturb _ -> "perturb"
+
+let corrupt fault (v : float array) : float array =
+  let out = Array.copy v in
+  (match fault with
+  | Nan -> if Array.length out > 0 then out.(0) <- Float.nan
+  | Inf -> if Array.length out > 0 then out.(0) <- Float.infinity
+  | Zero -> Array.fill out 0 (Array.length out) 0.0
+  | Perturb eps -> Array.iteri (fun i x -> out.(i) <- x *. (1.0 +. eps)) out);
+  out
+
+let inject t (v : float array) : float array =
+  t.calls <- t.calls + 1;
+  if t.calls = t.plan.on_call || (t.plan.persist && t.calls > t.plan.on_call)
+  then begin
+    t.fired <- t.fired + 1;
+    corrupt t.plan.fault v
+  end
+  else v
+
+let wrap t f x = inject t (f x)
+
+let wrap2 t f a x = inject t (f a x)

@@ -1,0 +1,44 @@
+(** Deterministic fault injection for matvec / solve / rhs closures.
+
+    A {!plan} says what to corrupt and when (the [on_call]-th call,
+    optionally persisting for all later calls); {!make} arms it with a
+    fresh call counter. Wrapped closures behave identically to the
+    original except on scheduled calls, whose output is corrupted:
+
+    - [Nan]: first component set to NaN
+    - [Inf]: first component set to infinity
+    - [Zero]: output zeroed (a rank-collapse / singular surrogate)
+    - [Perturb eps]: every component scaled by [1 + eps] *)
+
+type fault = Nan | Inf | Zero | Perturb of float
+
+type plan = { fault : fault; on_call : int; persist : bool }
+
+type t
+
+val plan : ?on_call:int -> ?persist:bool -> fault -> plan
+(** [on_call] defaults to 1 (the first call), [persist] to [false].
+    Raises [Invalid_argument] when [on_call < 1]. *)
+
+val make : plan -> t
+(** Arm a plan with a fresh call counter. *)
+
+val calls : t -> int
+(** Calls seen so far. *)
+
+val fired : t -> int
+(** Corrupted calls so far. *)
+
+val fault_name : fault -> string
+(** "nan" | "inf" | "zero" | "perturb". *)
+
+val inject : t -> float array -> float array
+(** Count one call and corrupt the payload if scheduled (on a copy —
+    the input array is never mutated). *)
+
+val wrap : t -> (float array -> float array) -> float array -> float array
+(** [wrap t f] is [f] with {!inject} applied to its output. *)
+
+val wrap2 :
+  t -> ('a -> float array -> float array) -> 'a -> float array -> float array
+(** Two-argument variant, e.g. for [rhs t x] closures. *)

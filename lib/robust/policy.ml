@@ -1,0 +1,85 @@
+(* Retry/fallback policy engine.
+
+   One small record of knobs (bounded attempts, nudge geometry,
+   Tikhonov strength) plus the generic ladder runner used by every
+   fallback chain in the stack (LU -> pivoted QR -> Tikhonov in
+   [La.Ladder], RKF45 -> implicit trapezoid in [Ode.Fallback]). The
+   deterministic shift-nudge sequence for near-singular shifted solves
+   lives here too, so [Atmor] and tests agree on the exact candidates.
+
+   VMOR_MAX_RETRIES overrides the default attempt budget. *)
+
+type t = {
+  max_retries : int;  (* extra attempts after the first *)
+  nudge_eps : float;  (* relative size of the first shift nudge *)
+  nudge_base : float;  (* absolute scale used when s0 = 0 *)
+  tikhonov_mu : float;  (* relative Tikhonov regularization *)
+}
+
+let default_max_retries = 4
+
+let env_max_retries () =
+  match Sys.getenv_opt "VMOR_MAX_RETRIES" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Some n
+    | _ -> None)
+
+let default () =
+  {
+    max_retries = Option.value (env_max_retries ()) ~default:default_max_retries;
+    nudge_eps = 1e-4;
+    nudge_base = 1.0;
+    tikhonov_mu = 1e-8;
+  }
+
+let none = { max_retries = 0; nudge_eps = 0.0; nudge_base = 1.0; tikhonov_mu = 0.0 }
+
+(* s0, then s0 (1 + eps 2^j) — geometric growth so one sequence covers
+   both "exactly on a pole" (any nudge works) and "in a cluster of
+   poles" (later nudges escape). A zero s0 cannot be nudged
+   multiplicatively, so it steps away in absolute units of
+   [nudge_base]. *)
+let nudges t s0 =
+  let cand j =
+    if j = 0 then s0
+    else begin
+      let step = t.nudge_eps *. float_of_int (1 lsl (j - 1)) in
+      if Contract.nonzero s0 then s0 *. (1.0 +. step)
+      else t.nudge_base *. step
+    end
+  in
+  List.init (1 + max 0 t.max_retries) cand
+
+(* Run [rungs] in order until one returns a value accepted by
+   [validate]. Failures recognized by [classify] are recorded (action
+   "fallback:<next>" or "exhausted") and trigger escalation; foreign
+   exceptions propagate. *)
+let run_ladder ?recorder ~(loc : Error.location)
+    ~(classify : exn -> Error.t option) ?validate
+    (rungs : (string * (unit -> 'a)) list) : ('a, Error.t) result =
+  let valid x = match validate with None -> true | Some f -> f x in
+  let rec go attempts last = function
+    | [] -> Result.Error (Error.Budget_exhausted { loc; attempts; last })
+    | (name, f) :: rest -> (
+      let action =
+        match rest with
+        | (next, _) :: _ -> "fallback:" ^ next
+        | [] -> "exhausted"
+      in
+      let fail err =
+        Report.record_opt recorder ~action err;
+        go (attempts + 1) (Some err) rest
+      in
+      match f () with
+      | x ->
+        if valid x then Ok x
+        else
+          fail
+            (Error.Contract_violation
+               { loc; detail = name ^ " produced an invalid result" })
+      | exception exn -> (
+        match classify exn with None -> raise exn | Some err -> fail err))
+  in
+  go 0 None rungs

@@ -1,0 +1,41 @@
+(** Retry/fallback policy engine: attempt budgets, the deterministic
+    shift-nudge sequence for near-singular shifted solves, and the
+    generic fallback-ladder runner. *)
+
+type t = {
+  max_retries : int;  (** extra attempts after the first *)
+  nudge_eps : float;  (** relative size of the first shift nudge *)
+  nudge_base : float;  (** absolute nudge scale used when [s0 = 0] *)
+  tikhonov_mu : float;  (** relative Tikhonov regularization strength *)
+}
+
+val default_max_retries : int
+
+val default : unit -> t
+(** The standard policy; [VMOR_MAX_RETRIES] (a non-negative integer)
+    overrides the attempt budget. *)
+
+val none : t
+(** No retries, no regularization — the uninstrumented baseline used
+    for overhead measurement. *)
+
+val nudges : t -> float -> float list
+(** [nudges t s0] is the deterministic expansion-point candidate
+    sequence [s0; s0 (1 + eps); s0 (1 + 2 eps); s0 (1 + 4 eps); ...]
+    (absolute steps of [nudge_base * eps * 2^j] when [s0 = 0]),
+    [1 + max_retries] entries in total. *)
+
+val run_ladder :
+  ?recorder:Report.recorder ->
+  loc:Error.location ->
+  classify:(exn -> Error.t option) ->
+  ?validate:('a -> bool) ->
+  (string * (unit -> 'a)) list ->
+  ('a, Error.t) result
+(** Run the named rungs in order until one returns a value accepted by
+    [validate] (default: accept anything). A rung fails by raising an
+    exception recognized by [classify] or by failing [validate]; each
+    failure is recorded against [recorder] (action ["fallback:<next>"],
+    or ["exhausted"] on the last rung) before escalating. Unrecognized
+    exceptions propagate. Returns [Error (Budget_exhausted ...)] when
+    every rung fails. *)

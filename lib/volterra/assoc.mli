@@ -23,16 +23,35 @@ open La
 
 type t
 
-(** Build the engine. [s0] defaults to [0] when [G1] is invertible and
-    to [1.0] for quadratized diode circuits, whose augmented [G1] is
-    structurally singular (see DESIGN.md; the paper's §4 non-DC
-    expansion). *)
-val create : ?s0:float -> Qldae.t -> t
+(** The default expansion point for a model: [0] when [G1] is
+    invertible, [1.0] for quadratized diode circuits whose augmented
+    [G1] is structurally singular (see DESIGN.md; the paper's §4 non-DC
+    expansion). Exposed so retry policies can nudge from the same
+    baseline the engine would pick. *)
+val default_s0 : Qldae.t -> float
+
+(** Build the engine. [s0] defaults to {!default_s0}. The resolvent
+    [(s0 I − G1)⁻¹] is wrapped in the {!La.Ladder} fallback chain and
+    near-singular Kronecker-sum shifts retry with Tikhonov-regularized
+    scalar inverses ([policy.tikhonov_mu], disabled when [0]); both
+    record against [recorder]. [fault] arms a deterministic
+    fault-injection plan on the resolvent outputs (each [create] gets a
+    fresh call counter, so schedules are reproducible per engine). *)
+val create :
+  ?recorder:Robust.Report.recorder ->
+  ?policy:Robust.Policy.t ->
+  ?fault:Robust.Faultify.plan ->
+  ?s0:float ->
+  Qldae.t ->
+  t
 
 (** The expansion point in use. *)
 val s0 : t -> float
 
 val qldae : t -> Qldae.t
+
+(** Recovery events recorded so far (empty without a recorder). *)
+val report : t -> Robust.Report.t
 
 (** [h1_moments t ~k]: [k] moment vectors of [H1] about [s0] per input
     column — the classical Krylov chain [(s0I−G1)^{-(j+1)} b]. *)

@@ -185,7 +185,15 @@ let dc_operating_point ?(tol = 1e-12) ?(max_iter = 50) ?x_init t
       done
     end
   done;
-  if not !converged then failwith "Qldae.dc_operating_point: Newton stalled";
+  if not !converged then
+    Robust.Error.raise_error
+      (Robust.Error.Convergence_failure
+         {
+           loc =
+             Robust.Error.loc ~subsystem:"volterra"
+               ~operation:"Qldae.dc_operating_point";
+           detail = Printf.sprintf "Newton stalled after %d iterations" max_iter;
+         });
   !x
 
 (* Exact recentring of the system around an equilibrium (x0, u0):

@@ -224,7 +224,7 @@ let test_quadratize_rejects_diode_cubic () =
     (try
        ignore (Circuit.Quadratize.quadratize a);
        false
-     with Failure _ -> true)
+     with Robust.Error.Error (Robust.Error.Contract_violation _) -> true)
 
 (* ---- model builders: paper dimensions & structure ---- *)
 

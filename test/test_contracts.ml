@@ -84,7 +84,7 @@ let test_orthonormal_accepts_arnoldi () =
       let b = Vec.init n (fun i -> 1.0 +. float_of_int i) in
       (* Mor.Arnoldi.run asserts orthonormality of V internally when checks
          are on; reaching the checks below means it passed. *)
-      let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:6 in
+      let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:6 () in
       Alcotest.(check int) "full Krylov basis" 6 (Mat.cols r.Mor.Arnoldi.v);
       Contract.require_orthonormal "arnoldi basis" ~rows:n
         ~cols:(Mat.cols r.Mor.Arnoldi.v)

@@ -72,7 +72,7 @@ let test_cvec_to_real_guard () =
     (try
        ignore (Cvec.to_real v);
        false
-     with Failure _ -> true)
+     with Robust.Error.Error (Robust.Error.Contract_violation _) -> true)
 
 let test_schur_complex_input () =
   let a =

@@ -97,7 +97,7 @@ let test_algebraic_rejects_nonlinear () =
     (try
        ignore (Circuit.Reduce_dae.eliminate_algebraic a);
        false
-     with Failure _ -> true)
+     with Robust.Error.Error (Robust.Error.Contract_violation _) -> true)
 
 let test_regular_passthrough () =
   let a =

@@ -46,7 +46,7 @@ let test_arnoldi_orthonormal () =
   let n = 10 in
   let a = random_stable n in
   let b = Mat.random_vec ~rng n in
-  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:5 in
+  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:5 () in
   let v = r.Mor.Arnoldi.v in
   Alcotest.(check int) "5 columns" 5 (Mat.cols v);
   check_small "V^T V = I"
@@ -60,7 +60,7 @@ let test_arnoldi_relation () =
   let a = random_stable n in
   let b = Mat.random_vec ~rng n in
   let k = 4 in
-  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:(k + 1) in
+  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:(k + 1) () in
   let v = r.Mor.Arnoldi.v and h = r.Mor.Arnoldi.h in
   for j = 0 to k - 1 do
     let av = Mat.mul_vec a (Mat.col v j) in
@@ -78,7 +78,7 @@ let test_arnoldi_span () =
   let n = 8 in
   let a = random_stable n in
   let b = Mat.random_vec ~rng n in
-  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:4 in
+  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:4 () in
   let v = r.Mor.Arnoldi.v in
   let x = ref (Vec.copy b) in
   for j = 0 to 3 do
@@ -92,7 +92,7 @@ let test_arnoldi_breakdown () =
      matrix (here: identity-like) *)
   let a = Mat.identity 6 in
   let b = Vec.basis 6 2 in
-  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:4 in
+  let r = Mor.Arnoldi.run ~matvec:(Mat.mul_vec a) ~b ~k:4 () in
   Alcotest.(check bool) "breakdown flagged" true r.Mor.Arnoldi.breakdown;
   Alcotest.(check int) "one vector kept" 1 (Mat.cols r.Mor.Arnoldi.v)
 
@@ -102,7 +102,7 @@ let test_shifted_krylov_moments () =
   let a = random_stable n in
   let b = Mat.random_vec ~rng n in
   let s0 = 0.7 in
-  let r = Mor.Arnoldi.shifted_krylov ~a ~b ~s0 ~k:4 in
+  let r = Mor.Arnoldi.shifted_krylov ~a ~b ~s0 ~k:4 () in
   let v = r.Mor.Arnoldi.v in
   let m = Mat.sub (Mat.scale s0 (Mat.identity n)) a in
   let lu = Lu.factor m in

@@ -1,0 +1,589 @@
+(* Tests for the recovery layer: the typed error taxonomy, the fault
+   injection harness, the generic policy ladder, the concrete fallback
+   ladders (LU -> QR -> Tikhonov, RKF45 -> implicit trapezoid), and the
+   graceful ROM degradation in Atmor/Autoselect.
+
+   Every fault here is injected deterministically through
+   [Robust.Faultify] so the assertions can match the emitted
+   [Robust.Report] event by event. *)
+
+open La
+
+let check_small name value tol =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %.3e, tol %.1e)" name value tol)
+    true (value <= tol)
+
+let has_action report prefix =
+  List.exists
+    (fun (e : Robust.Report.event) ->
+      String.length e.action >= String.length prefix
+      && String.sub e.action 0 (String.length prefix) = prefix)
+    report
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A fixed policy so the tests do not depend on VMOR_MAX_RETRIES. *)
+let test_policy =
+  {
+    Robust.Policy.max_retries = 4;
+    nudge_eps = 1e-4;
+    nudge_base = 1.0;
+    tikhonov_mu = 1e-8;
+  }
+
+(* Small SISO QLDAE with a known (diagonal) G1 spectrum {-1, -2, -3}
+   and a weak quadratic coupling, so expansion points riding exactly on
+   an eigenvalue of G1 are easy to construct. *)
+let diag_qldae () =
+  let n = 3 in
+  let g1 = Mat.diag (Vec.of_list [ -1.0; -2.0; -3.0 ]) in
+  let g2 =
+    Sptensor.of_dense ~arity:2 ~n_in:n
+      (Mat.init n (n * n) (fun i j -> 0.02 /. float_of_int (i + j + 1)))
+  in
+  let b = Mat.init n 1 (fun i _ -> 1.0 /. float_of_int (i + 1)) in
+  let c = Mat.init 1 n (fun _ _ -> 1.0) in
+  Volterra.Qldae.make ~g2 ~g1 ~b ~c ()
+
+(* ---- taxonomy ---- *)
+
+let test_error_rendering () =
+  let loc = Robust.Error.loc ~subsystem:"la" ~operation:"Ladder.solve" in
+  let e = Robust.Error.Singular_solve { loc; shift = 2.0; distance = 1e-14 } in
+  Alcotest.(check string) "kind" "singular-solve" (Robust.Error.kind e);
+  Alcotest.(check string)
+    "location" "la.Ladder.solve"
+    (Robust.Error.location_string (Robust.Error.location e));
+  let s = Robust.Error.to_string e in
+  Alcotest.(check bool)
+    (Printf.sprintf "rendering mentions location (%s)" s)
+    true
+    (contains ~needle:"Ladder.solve" s);
+  let nested =
+    Robust.Error.Budget_exhausted { loc; attempts = 3; last = Some e }
+  in
+  Alcotest.(check string) "nested kind" "budget-exhausted"
+    (Robust.Error.kind nested)
+
+let test_report_accounting () =
+  let r = Robust.Report.recorder () in
+  let loc = Robust.Error.loc ~subsystem:"t" ~operation:"t" in
+  let err = Robust.Error.Contract_violation { loc; detail = "d" } in
+  Alcotest.(check bool) "fresh recorder empty" true
+    (Robust.Report.is_empty (Robust.Report.events r));
+  Robust.Report.record r ~action:"nudge:1.5" err;
+  let m = Robust.Report.mark r in
+  Robust.Report.record r ~action:"degrade:h3" err;
+  Alcotest.(check int) "two events" 2
+    (Robust.Report.count (Robust.Report.events r));
+  Alcotest.(check int) "since mark sees one" 1
+    (Robust.Report.count (Robust.Report.since r m));
+  Alcotest.(check bool) "degrade flag" true
+    (Robust.Report.degraded (Robust.Report.events r));
+  Alcotest.(check bool) "nudge alone is not degraded" false
+    (Robust.Report.degraded [ { Robust.Report.error = err; action = "nudge:2" } ]);
+  Alcotest.(check bool) "to_string nonempty" true
+    (String.length (Robust.Report.to_string (Robust.Report.events r)) > 0)
+
+(* ---- fault injection ---- *)
+
+let test_faultify_kinds () =
+  let base = [| 1.0; 2.0; 3.0 |] in
+  let check_fault fault pred =
+    let f = Robust.Faultify.make (Robust.Faultify.plan ~on_call:2 fault) in
+    let first = Robust.Faultify.inject f base in
+    Alcotest.(check bool)
+      (Robust.Faultify.fault_name fault ^ ": call 1 untouched")
+      true
+      (first = base);
+    let second = Robust.Faultify.inject f base in
+    Alcotest.(check bool)
+      (Robust.Faultify.fault_name fault ^ ": call 2 corrupted")
+      true (pred second);
+    Alcotest.(check bool)
+      (Robust.Faultify.fault_name fault ^ ": input not mutated")
+      true
+      (base = [| 1.0; 2.0; 3.0 |]);
+    let third = Robust.Faultify.inject f base in
+    Alcotest.(check bool)
+      (Robust.Faultify.fault_name fault ^ ": call 3 clean (no persist)")
+      true (third = base);
+    Alcotest.(check int) "calls counted" 3 (Robust.Faultify.calls f);
+    Alcotest.(check int) "fired once" 1 (Robust.Faultify.fired f)
+  in
+  check_fault Robust.Faultify.Nan (fun x -> Float.is_nan x.(0));
+  check_fault Robust.Faultify.Inf (fun x ->
+      Float.equal x.(0) Float.infinity);
+  check_fault Robust.Faultify.Zero (fun x -> Array.for_all Contract.is_zero x);
+  check_fault (Robust.Faultify.Perturb 0.5) (fun x ->
+      Float.abs (x.(0) -. 1.5) < 1e-12 && Float.abs (x.(2) -. 4.5) < 1e-12);
+  (* persistence *)
+  let f =
+    Robust.Faultify.make
+      (Robust.Faultify.plan ~on_call:2 ~persist:true Robust.Faultify.Nan)
+  in
+  ignore (Robust.Faultify.inject f base);
+  ignore (Robust.Faultify.inject f base);
+  let later = Robust.Faultify.inject f base in
+  Alcotest.(check bool) "persistent fault keeps firing" true
+    (Float.is_nan later.(0));
+  Alcotest.(check int) "persistent fired twice" 2 (Robust.Faultify.fired f)
+
+(* ---- policy ---- *)
+
+let test_nudge_sequence () =
+  let cands = Robust.Policy.nudges test_policy 2.0 in
+  Alcotest.(check int) "1 + max_retries candidates" 5 (List.length cands);
+  let expected =
+    [ 2.0; 2.0 *. 1.0001; 2.0 *. 1.0002; 2.0 *. 1.0004; 2.0 *. 1.0008 ]
+  in
+  List.iter2
+    (fun got want -> check_small "nudge candidate" (Float.abs (got -. want)) 1e-12)
+    cands expected;
+  (* s0 = 0 cannot be nudged multiplicatively: absolute steps *)
+  let zero = Robust.Policy.nudges test_policy 0.0 in
+  Alcotest.(check bool) "zero start kept" true (Contract.is_zero (List.hd zero));
+  Alcotest.(check bool) "absolute nudges leave zero" true
+    (List.for_all (fun c -> c > 0.0) (List.tl zero));
+  Alcotest.(check int) "none has a single candidate" 1
+    (List.length (Robust.Policy.nudges Robust.Policy.none 7.0));
+  (* determinism *)
+  Alcotest.(check bool) "sequence is deterministic" true
+    (Robust.Policy.nudges test_policy 2.0 = cands)
+
+let test_max_retries_env () =
+  Unix.putenv "VMOR_MAX_RETRIES" "2";
+  let n = (Robust.Policy.default ()).Robust.Policy.max_retries in
+  Unix.putenv "VMOR_MAX_RETRIES" "not-a-number";
+  let bad = (Robust.Policy.default ()).Robust.Policy.max_retries in
+  Unix.putenv "VMOR_MAX_RETRIES" "";
+  Alcotest.(check int) "VMOR_MAX_RETRIES honored" 2 n;
+  Alcotest.(check int) "garbage falls back to default"
+    Robust.Policy.default_max_retries bad
+
+(* Every fault kind driven through the generic ladder runner: the
+   faulty rung produces a corrupted vector that [validate] rejects, the
+   clean rung recovers, and the report names the escalation. *)
+let test_run_ladder_recovers_each_fault () =
+  let loc = Robust.Error.loc ~subsystem:"test" ~operation:"ladder" in
+  let good = [| 1.0; -2.0; 0.5 |] in
+  let valid x = Vec.is_finite x && Vec.dist2 x good < 1e-9 in
+  List.iter
+    (fun fault ->
+      let f = Robust.Faultify.make (Robust.Faultify.plan fault) in
+      let r = Robust.Report.recorder () in
+      let rungs =
+        [
+          ("faulty", fun () -> Robust.Faultify.inject f (Array.copy good));
+          ("clean", fun () -> Array.copy good);
+        ]
+      in
+      match
+        Robust.Policy.run_ladder ~recorder:r ~loc ~classify:Ladder.classify
+          ~validate:valid rungs
+      with
+      | Ok x ->
+        Alcotest.(check bool)
+          (Robust.Faultify.fault_name fault ^ ": recovered value")
+          true (valid x);
+        Alcotest.(check bool)
+          (Robust.Faultify.fault_name fault ^ ": escalation recorded")
+          true
+          (has_action (Robust.Report.events r) "fallback:clean")
+      | Error e ->
+        Alcotest.failf "ladder failed under %s fault: %s"
+          (Robust.Faultify.fault_name fault)
+          (Robust.Error.to_string e))
+    [
+      Robust.Faultify.Nan;
+      Robust.Faultify.Inf;
+      Robust.Faultify.Zero;
+      Robust.Faultify.Perturb 0.5;
+    ]
+
+let test_run_ladder_exhaustion () =
+  let loc = Robust.Error.loc ~subsystem:"test" ~operation:"ladder" in
+  let r = Robust.Report.recorder () in
+  match
+    Robust.Policy.run_ladder ~recorder:r ~loc ~classify:Ladder.classify
+      ~validate:Vec.is_finite
+      [ ("always-nan", fun () -> [| Float.nan |]) ]
+  with
+  | Ok _ -> Alcotest.fail "invalid rung accepted"
+  | Error (Robust.Error.Budget_exhausted { attempts; last; _ }) ->
+    Alcotest.(check int) "one attempt" 1 attempts;
+    Alcotest.(check bool) "last failure kept" true (last <> None);
+    Alcotest.(check bool) "final rung recorded as exhausted" true
+      (has_action (Robust.Report.events r) "exhausted")
+  | Error e ->
+    Alcotest.failf "unexpected error: %s" (Robust.Error.to_string e)
+
+(* ---- linear-solve ladder ---- *)
+
+let test_ladder_lu_clean () =
+  let a = Mat.of_list [ [ 4.0; 1.0 ]; [ 1.0; 3.0 ] ] in
+  let r = Robust.Report.recorder () in
+  let l = Ladder.make ~recorder:r a in
+  let b = Vec.of_list [ 1.0; 2.0 ] in
+  let x = Ladder.solve l b in
+  check_small "LU residual" (Vec.dist2 (Mat.mul_vec a x) b) 1e-12;
+  Alcotest.(check bool) "stayed on the LU rung" true (Ladder.last_rung l = `Lu);
+  Alcotest.(check bool) "clean solve records nothing" true
+    (Robust.Report.is_empty (Robust.Report.events r))
+
+let test_ladder_singular_escalates_to_qr () =
+  (* rank-2 matrix, consistent rhs: LU fails at factorization (recorded
+     eagerly at [make]), pivoted QR produces an exact solution. *)
+  let a = Mat.diag (Vec.of_list [ 1.0; 2.0; 0.0 ]) in
+  let r = Robust.Report.recorder () in
+  let l = Ladder.make ~recorder:r a in
+  Alcotest.(check bool) "singular LU recorded at construction" true
+    (has_action (Robust.Report.events r) "fallback:qr");
+  let b = Vec.of_list [ 1.0; 4.0; 0.0 ] in
+  let x = Ladder.solve l b in
+  check_small "QR residual on consistent rhs"
+    (Vec.dist2 (Mat.mul_vec a x) b)
+    1e-10;
+  Alcotest.(check bool) "answered from the QR rung" true
+    (Ladder.last_rung l = `Qr)
+
+let test_ladder_tikhonov_rung () =
+  (* Force the last rung alone: it must stay finite on a singular
+     operator and be accurate on a well-conditioned one. *)
+  let sing = Mat.diag (Vec.of_list [ 1.0; 0.0 ]) in
+  let x =
+    Ladder.solve
+      (Ladder.make ~rungs:[ `Tikhonov ] sing)
+      (Vec.of_list [ 1.0; 0.0 ])
+  in
+  Alcotest.(check bool) "finite on a singular operator" true (Vec.is_finite x);
+  check_small "min-norm component" (Float.abs x.(1)) 1e-8;
+  let a = Mat.of_list [ [ 3.0; 1.0 ]; [ -1.0; 2.0 ] ] in
+  let l = Ladder.make ~rungs:[ `Tikhonov ] a in
+  let b = Vec.of_list [ 2.0; 1.0 ] in
+  check_small "accurate when regular"
+    (Vec.dist2 (Mat.mul_vec a (Ladder.solve l b)) b)
+    1e-6;
+  Alcotest.(check bool) "rung reported" true (Ladder.last_rung l = `Tikhonov)
+
+let test_ksolve_resonant_shift () =
+  (* G = diag(-1, -2): the k = 2 Kronecker sum has poles {-2, -3, -4}.
+     sigma = -3 rides a pole exactly: the plain solve must refuse with a
+     typed error, the Tikhonov variant must stay finite. *)
+  let ks = Ksolve.prepare (Mat.diag (Vec.of_list [ -1.0; -2.0 ])) in
+  let v = Vec.of_list [ 1.0; 1.0; 1.0; 1.0 ] in
+  (match Ksolve.try_solve_shifted_real ks ~k:2 ~sigma:(-3.0) v with
+  | Ok _ -> Alcotest.fail "resonant shift accepted"
+  | Error (Robust.Error.Singular_solve { shift; distance; _ }) ->
+    check_small "reported shift" (Float.abs (shift +. 3.0)) 1e-12;
+    check_small "pole distance ~ 0" distance 1e-9
+  | Error e -> Alcotest.failf "unexpected error: %s" (Robust.Error.to_string e));
+  let x = Ksolve.solve_shifted_real_reg ks ~k:2 ~sigma:(-3.0) ~mu:1e-6 v in
+  Alcotest.(check bool) "regularized solve finite on the pole" true
+    (Vec.is_finite x)
+
+(* ---- transient fallbacks ---- *)
+
+let decay =
+  {
+    Ode.Types.dim = 1;
+    rhs = (fun _ x -> Vec.of_list [ -.x.(0) ]);
+    jac = Some (fun _ _ -> Mat.of_list [ [ -1.0 ] ]);
+  }
+
+let test_rkf45_transient_nan_recovers () =
+  (* One NaN mid-attempt: the step is rejected and halved, and the
+     integration still matches exp(-t). *)
+  let f = Robust.Faultify.make (Robust.Faultify.plan ~on_call:5 Robust.Faultify.Nan) in
+  let sys = { decay with Ode.Types.rhs = Robust.Faultify.wrap2 f decay.Ode.Types.rhs } in
+  let r = Robust.Report.recorder () in
+  let sol =
+    Ode.Rkf45.integrate sys ~t0:0.0 ~t1:1.0 ~x0:(Vec.of_list [ 1.0 ])
+      ~recorder:r ~samples:11 ()
+  in
+  Alcotest.(check int) "fault fired" 1 (Robust.Faultify.fired f);
+  check_small "still accurate"
+    (Float.abs (sol.Ode.Types.states.(10).(0) -. Float.exp (-1.0)))
+    1e-4;
+  Alcotest.(check bool) "halved-step recovery recorded" true
+    (has_action (Robust.Report.events r) "halve-step");
+  Alcotest.(check bool) "the poisoned attempt was rejected" true
+    (sol.Ode.Types.stats.Ode.Types.rejected >= 1)
+
+let test_rkf45_persistent_nan_fails_typed () =
+  let f =
+    Robust.Faultify.make (Robust.Faultify.plan ~persist:true Robust.Faultify.Nan)
+  in
+  let sys = { decay with Ode.Types.rhs = Robust.Faultify.wrap2 f decay.Ode.Types.rhs } in
+  let r = Robust.Report.recorder () in
+  (match
+     Ode.Rkf45.integrate sys ~t0:0.0 ~t1:1.0 ~x0:(Vec.of_list [ 1.0 ])
+       ~recorder:r ~samples:3 ()
+   with
+  | _ -> Alcotest.fail "persistent NaN rhs must not integrate"
+  | exception Ode.Types.Step_failure _ -> ());
+  Alcotest.(check bool) "failure recorded as exhausted" true
+    (has_action (Robust.Report.events r) "exhausted")
+
+let test_rkf45_step_budget () =
+  match
+    Ode.Rkf45.integrate decay ~t0:0.0 ~t1:1.0 ~x0:(Vec.of_list [ 1.0 ])
+      ~max_steps:2 ~samples:3 ()
+  with
+  | _ -> Alcotest.fail "2-step budget cannot cover the span"
+  | exception Ode.Types.Step_failure _ -> ()
+
+(* Fast relaxation onto the slow manifold x = cos t: far too stiff for
+   RKF45 under a small step budget, trivial for the A-stable implicit
+   trapezoid — the ladder must switch over and report it. *)
+let stiff_relaxation =
+  {
+    Ode.Types.dim = 1;
+    rhs = (fun t x -> Vec.of_list [ -1e6 *. (x.(0) -. Float.cos t) ]);
+    jac = Some (fun _ _ -> Mat.of_list [ [ -1e6 ] ]);
+  }
+
+let test_fallback_rkf45_to_imtrap () =
+  let r = Robust.Report.recorder () in
+  match
+    Ode.Fallback.try_integrate stiff_relaxation ~t0:0.0 ~t1:1.0
+      ~x0:(Vec.of_list [ 1.0 ]) ~max_steps:200 ~recorder:r ~samples:11 ()
+  with
+  | Error e ->
+    Alcotest.failf "ladder failed: %s" (Robust.Error.to_string e)
+  | Ok sol ->
+    Alcotest.(check bool) "states finite" true
+      (Array.for_all Vec.is_finite sol.Ode.Types.states);
+    check_small "tracks the slow manifold"
+      (Float.abs (sol.Ode.Types.states.(10).(0) -. Float.cos 1.0))
+      1e-2;
+    Alcotest.(check bool) "escalation to imtrap recorded" true
+      (has_action (Robust.Report.events r) "fallback:imtrap")
+
+let test_fallback_without_jacobian_exhausts () =
+  (* No Jacobian, so the ladder has a single rung; the stiff problem
+     exhausts it and the error is typed, not an escaped exception. *)
+  let sys = { stiff_relaxation with Ode.Types.jac = None } in
+  match
+    Ode.Fallback.try_integrate sys ~t0:0.0 ~t1:1.0 ~x0:(Vec.of_list [ 1.0 ])
+      ~max_steps:200 ~samples:5 ()
+  with
+  | Ok _ -> Alcotest.fail "stiff system within 200 explicit steps"
+  | Error (Robust.Error.Budget_exhausted { last = Some _; _ }) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Robust.Error.to_string e)
+
+(* ---- Arnoldi truncation ---- *)
+
+let test_arnoldi_nan_truncates_basis () =
+  let a = Mat.diag (Vec.of_list [ -1.0; -2.0; -3.0; -4.0; -5.0; -6.0 ]) in
+  let f =
+    Robust.Faultify.make
+      (Robust.Faultify.plan ~on_call:3 ~persist:true Robust.Faultify.Nan)
+  in
+  let matvec = Robust.Faultify.wrap f (Mat.mul_vec a) in
+  let b = Vec.init 6 (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let r = Robust.Report.recorder () in
+  let res = Mor.Arnoldi.run ~recorder:r ~matvec ~b ~k:6 () in
+  Alcotest.(check bool) "breakdown flagged" true res.Mor.Arnoldi.breakdown;
+  Alcotest.(check int) "basis truncated at the poisoned column" 3
+    (Mat.cols res.Mor.Arnoldi.v);
+  let v = res.Mor.Arnoldi.v in
+  check_small "truncated basis still orthonormal"
+    (Mat.norm_fro (Mat.sub (Mat.mul (Mat.transpose v) v) (Mat.identity 3)))
+    1e-10;
+  let events = Robust.Report.events r in
+  Alcotest.(check bool) "breakdown reported" true
+    (List.exists
+       (fun (e : Robust.Report.event) ->
+         Robust.Error.kind e.error = "arnoldi-breakdown"
+         && e.action = "degrade:truncate-basis")
+       events)
+
+(* ---- graceful ROM degradation ---- *)
+
+let test_atmor_resonant_s0_nudges () =
+  (* s0 exactly on an eigenvalue of G1: (s0 I - G1) is singular, the
+     first candidate cannot be clean, and the nudge sequence must walk
+     off the pole. The run completes with a ROM plus a non-empty
+     report. *)
+  let q = diag_qldae () in
+  let res =
+    Mor.Atmor.reduce ~policy:test_policy ~s0:(-1.0)
+      ~orders:{ Mor.Atmor.k1 = 2; k2 = 1; k3 = 0 }
+      q
+  in
+  Alcotest.(check bool) "a ROM came back" true (Mor.Atmor.order res >= 1);
+  Alcotest.(check bool) "basis finite" true
+    (Vec.is_finite (Mat.data res.Mor.Atmor.basis));
+  Alcotest.(check bool) "expansion point was nudged off the pole" true
+    (not (Contract.float_equal res.Mor.Atmor.s0 (-1.0)));
+  check_small "nudge stayed deterministic and small"
+    (Float.abs (res.Mor.Atmor.s0 -. (-1.0001)))
+    1e-9;
+  Alcotest.(check bool) "report tells the story" true
+    (not (Robust.Report.is_empty res.Mor.Atmor.degradation));
+  Alcotest.(check bool) "orders were not degraded" false
+    (Robust.Report.degraded res.Mor.Atmor.degradation)
+
+let test_atmor_h3_degrades () =
+  (* Persistent NaN from the 4th resolvent solve: H1 (2 solves) and H2
+     (1 solve) survive, every H3 attempt is poisoned, so the engine
+     must drop to (2, 1, 0) and say so. *)
+  let q = diag_qldae () in
+  let res =
+    Mor.Atmor.reduce ~policy:test_policy
+      ~fault:(Robust.Faultify.plan ~on_call:4 ~persist:true Robust.Faultify.Nan)
+      ~orders:{ Mor.Atmor.k1 = 2; k2 = 1; k3 = 1 }
+      q
+  in
+  Alcotest.(check int) "H3 dropped" 0 res.Mor.Atmor.orders.Mor.Atmor.k3;
+  Alcotest.(check int) "H2 kept" 1 res.Mor.Atmor.orders.Mor.Atmor.k2;
+  Alcotest.(check int) "H1 kept" 2 res.Mor.Atmor.orders.Mor.Atmor.k1;
+  Alcotest.(check bool) "degradation reported" true
+    (Robust.Report.degraded res.Mor.Atmor.degradation);
+  Alcotest.(check bool) "degrade:h3 event present" true
+    (has_action res.Mor.Atmor.degradation "degrade:h3");
+  Alcotest.(check bool) "nudges were tried first" true
+    (has_action res.Mor.Atmor.degradation "nudge:");
+  Alcotest.(check bool) "basis finite" true
+    (Vec.is_finite (Mat.data res.Mor.Atmor.basis))
+
+let test_atmor_h3_then_h2_degrade () =
+  (* Poison from the 3rd solve on: H2's first moment is corrupted, so
+     the ladder must walk (2,1,1) -> (2,1,0) -> (2,0,0). *)
+  let q = diag_qldae () in
+  let res =
+    Mor.Atmor.reduce ~policy:test_policy
+      ~fault:(Robust.Faultify.plan ~on_call:3 ~persist:true Robust.Faultify.Nan)
+      ~orders:{ Mor.Atmor.k1 = 2; k2 = 1; k3 = 1 }
+      q
+  in
+  Alcotest.(check int) "H3 dropped" 0 res.Mor.Atmor.orders.Mor.Atmor.k3;
+  Alcotest.(check int) "H2 dropped" 0 res.Mor.Atmor.orders.Mor.Atmor.k2;
+  Alcotest.(check int) "H1 kept" 2 res.Mor.Atmor.orders.Mor.Atmor.k1;
+  Alcotest.(check bool) "degrade:h3 recorded" true
+    (has_action res.Mor.Atmor.degradation "degrade:h3");
+  Alcotest.(check bool) "degrade:h2 recorded" true
+    (has_action res.Mor.Atmor.degradation "degrade:h2");
+  Alcotest.(check bool) "H1-only ROM is usable" true
+    (Mor.Atmor.order res >= 1 && Vec.is_finite (Mat.data res.Mor.Atmor.basis))
+
+let test_atmor_total_failure_is_typed () =
+  (* Every solve poisoned: no (orders, point) combination can work and
+     the typed budget error must escape — not a raw exception. *)
+  let q = diag_qldae () in
+  match
+    Mor.Atmor.reduce ~policy:test_policy
+      ~fault:(Robust.Faultify.plan ~persist:true Robust.Faultify.Nan)
+      ~orders:{ Mor.Atmor.k1 = 2; k2 = 1; k3 = 0 }
+      q
+  with
+  | _ -> Alcotest.fail "fully poisoned engine produced a ROM"
+  | exception Robust.Error.Error (Robust.Error.Budget_exhausted { attempts; last; _ })
+    ->
+    Alcotest.(check bool) "attempts counted" true (attempts >= 1);
+    Alcotest.(check bool) "last failure kept" true (last <> None)
+
+let test_atmor_clean_run_empty_report () =
+  let q = diag_qldae () in
+  let res =
+    Mor.Atmor.reduce ~policy:test_policy
+      ~orders:{ Mor.Atmor.k1 = 2; k2 = 1; k3 = 1 }
+      q
+  in
+  Alcotest.(check bool) "clean run, empty report" true
+    (Robust.Report.is_empty res.Mor.Atmor.degradation);
+  Alcotest.(check int) "orders honored" 1 res.Mor.Atmor.orders.Mor.Atmor.k3
+
+let test_autoselect_degrades () =
+  (* Probing is fault-free (the plan arms on the growth engine); the
+     persistent fault from call 3 kills the H2 and H3 series, which
+     must be dropped to zero with the H1 basis still delivered. *)
+  let q = diag_qldae () in
+  let sel =
+    Mor.Autoselect.reduce ~policy:test_policy
+      ~fault:(Robust.Faultify.plan ~on_call:3 ~persist:true Robust.Faultify.Nan)
+      ~max_orders:{ Mor.Atmor.k1 = 2; k2 = 1; k3 = 1 }
+      q
+  in
+  Alcotest.(check int) "H2 dropped" 0 sel.Mor.Autoselect.chosen.Mor.Atmor.k2;
+  Alcotest.(check int) "H3 dropped" 0 sel.Mor.Autoselect.chosen.Mor.Atmor.k3;
+  Alcotest.(check bool) "H1 survived" true
+    (sel.Mor.Autoselect.chosen.Mor.Atmor.k1 >= 1);
+  let report = sel.Mor.Autoselect.result.Mor.Atmor.degradation in
+  Alcotest.(check bool) "degrade:h2 recorded" true (has_action report "degrade:h2");
+  Alcotest.(check bool) "degrade:h3 recorded" true (has_action report "degrade:h3");
+  Alcotest.(check bool) "basis finite" true
+    (Vec.is_finite (Mat.data sel.Mor.Autoselect.result.Mor.Atmor.basis))
+
+let test_balanced_try_reduce_non_hurwitz () =
+  let g1 = Mat.diag (Vec.of_list [ 0.5; -2.0 ]) in
+  let b = Mat.init 2 1 (fun _ _ -> 1.0) in
+  let c = Mat.init 1 2 (fun _ _ -> 1.0) in
+  let q = Volterra.Qldae.make ~g1 ~b ~c () in
+  match Mor.Balanced.try_reduce q with
+  | Ok _ -> Alcotest.fail "unstable G1 accepted"
+  | Error (Robust.Error.Non_hurwitz { max_re; _ }) ->
+    check_small "spectral abscissa reported" (Float.abs (max_re -. 0.5)) 1e-9
+  | Error e -> Alcotest.failf "unexpected error: %s" (Robust.Error.to_string e)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "robust.taxonomy",
+      [
+        tc "error rendering" `Quick test_error_rendering;
+        tc "report accounting" `Quick test_report_accounting;
+      ] );
+    ( "robust.faultify",
+      [ tc "every fault kind, scheduling, persistence" `Quick test_faultify_kinds ]
+    );
+    ( "robust.policy",
+      [
+        tc "deterministic nudge sequence" `Quick test_nudge_sequence;
+        tc "VMOR_MAX_RETRIES override" `Quick test_max_retries_env;
+        tc "ladder recovers from every fault kind" `Quick
+          test_run_ladder_recovers_each_fault;
+        tc "ladder exhaustion is typed" `Quick test_run_ladder_exhaustion;
+      ] );
+    ( "robust.la-ladder",
+      [
+        tc "clean solve stays on LU" `Quick test_ladder_lu_clean;
+        tc "singular operator escalates to QR" `Quick
+          test_ladder_singular_escalates_to_qr;
+        tc "Tikhonov rung" `Quick test_ladder_tikhonov_rung;
+        tc "resonant Kronecker shift" `Quick test_ksolve_resonant_shift;
+      ] );
+    ( "robust.transient",
+      [
+        tc "RKF45 recovers from a transient NaN" `Quick
+          test_rkf45_transient_nan_recovers;
+        tc "RKF45 persistent NaN fails typed" `Quick
+          test_rkf45_persistent_nan_fails_typed;
+        tc "RKF45 step budget" `Quick test_rkf45_step_budget;
+        tc "RKF45 -> implicit trapezoid fallback" `Quick
+          test_fallback_rkf45_to_imtrap;
+        tc "ladder exhaustion without a Jacobian" `Quick
+          test_fallback_without_jacobian_exhausts;
+      ] );
+    ( "robust.degradation",
+      [
+        tc "mid-Arnoldi NaN truncates the basis" `Quick
+          test_arnoldi_nan_truncates_basis;
+        tc "resonant s0 is nudged off the pole" `Quick
+          test_atmor_resonant_s0_nudges;
+        tc "H3 failure degrades to (k1, k2, 0)" `Quick test_atmor_h3_degrades;
+        tc "H3 then H2 degrade chain" `Quick test_atmor_h3_then_h2_degrade;
+        tc "total failure raises Budget_exhausted" `Quick
+          test_atmor_total_failure_is_typed;
+        tc "clean run has an empty report" `Quick
+          test_atmor_clean_run_empty_report;
+        tc "autoselect drops failing series" `Quick test_autoselect_degrades;
+        tc "balanced try_reduce types Non_hurwitz" `Quick
+          test_balanced_try_reduce_non_hurwitz;
+      ] );
+  ]

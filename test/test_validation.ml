@@ -118,9 +118,9 @@ let test_mor_bad_args () =
 
 let test_arnoldi_bad_args () =
   expect_invalid "zero start" (fun () ->
-      Mor.Arnoldi.run ~matvec:Fun.id ~b:(Vec.create 4) ~k:3);
+      Mor.Arnoldi.run ~matvec:Fun.id ~b:(Vec.create 4) ~k:3 ());
   expect_invalid "k < 1" (fun () ->
-      Mor.Arnoldi.run ~matvec:Fun.id ~b:(Vec.of_list [ 1.0 ]) ~k:0)
+      Mor.Arnoldi.run ~matvec:Fun.id ~b:(Vec.of_list [ 1.0 ]) ~k:0 ())
 
 let suite =
   let tc = Alcotest.test_case in

@@ -1,4 +1,5 @@
 (* Fixture: library-code violations (and no .mli sibling). *)
 let debug x = Printf.printf "%f\n" x
 let coerce (x : int) : float = Obj.magic x
+let boom () = failwith "stalled"
 let sprintf_is_fine x = Printf.sprintf "%f" x

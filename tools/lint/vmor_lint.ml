@@ -17,6 +17,9 @@
                        matrix/vector operands whose body neither touches
                        the dimensions of two arguments, calls a contract
                        combinator, nor delegates to a guarded sibling
+     no-bare-failwith  failwith inside library code — library failures
+                       must raise the typed Robust.Error taxonomy (or a
+                       Contract Invalid_argument), never a bare Failure
      parse-error       file does not parse (never allowlisted)
 
    Output is machine readable, one violation per line:
@@ -30,7 +33,7 @@
 
 let rules =
   [ "float-eq"; "obj-magic"; "lib-printf"; "raw-matrix-alloc"; "mli-pair";
-    "dim-guard"; "parse-error" ]
+    "dim-guard"; "no-bare-failwith"; "parse-error" ]
 
 type violation = { file : string; line : int; rule : string; msg : string }
 
@@ -121,6 +124,10 @@ let check_expression path (e : expression) =
              (Printf.sprintf
                 "polymorphic (%s) on a float literal; use Contract.is_zero, \
                  Contract.float_equal or Contract.approx_eq" op)
+       | Some ([ "failwith" ] | [ "Stdlib"; "failwith" ]) when in_lib path ->
+           report path line "no-bare-failwith"
+             "bare failwith in library code; raise a typed Robust.Error \
+              (or Invalid_argument through a Contract combinator)"
        | Some [ "Array"; "make" ] when not (owns_matrix_storage path) -> (
            (* flag Array.make (r * c) — matrix-shaped allocation *)
            match args with
