@@ -1,6 +1,11 @@
 (* vmor: command-line front end for the associated-transform NMOR
    library — run the paper's experiments, reduce the bundled circuit
-   models at chosen orders, and inspect reductions. *)
+   models at chosen orders, simulate and compare transients, and trace
+   where a run spends its time.
+
+   Core subcommands (reduce | simulate | compare | trace) share flag
+   names with the [Vmor.Options] record; --trace/--metrics wire the
+   observability sinks. *)
 
 open Cmdliner
 
@@ -51,6 +56,25 @@ let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
 
+(* ---- observability flags (shared by the core subcommands) ---- *)
+
+let trace_arg =
+  let doc = "Write a JSONL span/event trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE.jsonl" ~doc)
+
+let metrics_arg =
+  let doc = "Print the kernel-metrics table to stderr when the run ends." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let setup_obs ~trace ~metrics =
+  (match trace with
+  | Some path -> Obs.Sink.set (Obs.Sink.jsonl_file path)
+  | None -> ());
+  if metrics then
+    at_exit (fun () -> prerr_string (Obs.Metrics.render_table ()))
+
+(* ---- experiment reproduction commands ---- *)
+
 let scale_arg =
   let doc = "Model scale factor (1.0 = the paper's sizes)." in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
@@ -91,7 +115,8 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (runtime comparison).")
     Term.(const (fun scale -> guarded (run scale)) $ scale_arg $ const ())
 
-(* reduce: reduce a bundled model at chosen orders and report *)
+(* ---- shared model / reduction flags (mirroring Vmor.Options) ---- *)
+
 let model_arg =
   let doc = "Model: nltl-v | nltl-i | rf | varistor." in
   Arg.(value & opt string "nltl-v" & info [ "model" ] ~docv:"M" ~doc)
@@ -101,12 +126,39 @@ let orders_arg =
   Arg.(value & opt (t3 ~sep:',' int int int) (6, 3, 2) & info [ "orders" ] ~docv:"K1,K2,K3" ~doc)
 
 let method_arg =
-  let doc = "Reduction method: at (associated transform) | norm." in
+  let doc =
+    "Reduction method: at (associated transform) | norm | multipoint (with \
+     --points)."
+  in
   Arg.(value & opt string "at" & info [ "method" ] ~docv:"METHOD" ~doc)
+
+let points_arg =
+  let doc = "Expansion points for --method multipoint (comma-separated)." in
+  Arg.(value & opt (list float) [] & info [ "points" ] ~docv:"S0,S1,..." ~doc)
 
 let s0_arg =
   let doc = "Expansion point (default: automatic)." in
   Arg.(value & opt (some float) None & info [ "s0" ] ~docv:"S0" ~doc)
+
+let tol_arg =
+  let doc = "Deflation tolerance of the basis QR." in
+  Arg.(value & opt float 1e-8 & info [ "tol" ] ~docv:"TOL" ~doc)
+
+let t1_arg =
+  let doc = "Transient end time." in
+  Arg.(value & opt float 30.0 & info [ "t1" ] ~docv:"T1" ~doc)
+
+let samples_arg =
+  let doc = "Transient sample count." in
+  Arg.(value & opt int 201 & info [ "samples" ] ~docv:"N" ~doc)
+
+let freq_arg =
+  let doc = "Input tone frequency." in
+  Arg.(value & opt float 0.125 & info [ "freq" ] ~docv:"F" ~doc)
+
+let amp_arg =
+  let doc = "Input tone amplitude." in
+  Arg.(value & opt float 0.8 & info [ "amp" ] ~docv:"A" ~doc)
 
 let build_model ~scale = function
   | "nltl-v" ->
@@ -135,37 +187,174 @@ let build_model ~scale = function
       (Usage_error
          (Printf.sprintf "unknown model %S (expected nltl-v | nltl-i | rf | varistor)" m))
 
+let build_options ~method_ ~points ?s0 ~tol () =
+  let method_ =
+    match method_ with
+    | "at" -> Vmor.Associated_transform
+    | "norm" -> Vmor.Norm_baseline
+    | "multipoint" ->
+      if points = [] then
+        raise (Usage_error "--method multipoint requires --points")
+      else Vmor.Multipoint points
+    | m ->
+      raise
+        (Usage_error
+           (Printf.sprintf "unknown method %S (expected at | norm | multipoint)" m))
+  in
+  Vmor.Options.make ?s0 ~tol ~method_ ()
+
+(* A default excitation for simulate/compare/trace: one damped sine on
+   every input. *)
+let default_input q ~freq ~amp =
+  let m = Volterra.Qldae.n_inputs q in
+  Waves.Source.vectorize
+    (List.init m (fun _ -> Waves.Source.damped_sine ~freq ~decay:0.08 amp))
+
+(* ---- core subcommands ---- *)
+
 let reduce_cmd =
-  let run model orders method_ s0 scale () =
+  let run model orders method_ points s0 tol scale trace metrics () =
     setup_logs (Some Logs.Warning);
+    setup_obs ~trace ~metrics;
     let q = build_model ~scale model in
     let k1, k2, k3 = orders in
-    let orders = { Mor.Atmor.k1; k2; k3 } in
-    let r =
-      match method_ with
-      | "at" -> Mor.Atmor.reduce ?s0 ~orders q
-      | "norm" -> Mor.Norm.reduce ?s0 ~orders q
-      | m ->
-        raise
-          (Usage_error (Printf.sprintf "unknown method %S (expected at | norm)" m))
-    in
+    let options = build_options ~method_ ~points ?s0 ~tol () in
+    let r = Vmor.reduce ~options ~orders:{ k1; k2; k3 } q in
     Printf.printf
       "model %s: %d states -> %d (raw moment vectors %d, s0 = %g, %.2fs)\n"
-      model (Volterra.Qldae.dim q) (Mor.Atmor.order r) r.Mor.Atmor.raw_moments
+      model (Volterra.Qldae.dim q) (Vmor.order r) r.Mor.Atmor.raw_moments
       r.Mor.Atmor.s0 r.Mor.Atmor.reduction_seconds;
-    finish_with_report r.Mor.Atmor.degradation
+    finish_with_report (Vmor.degradation r)
   in
   Cmd.v
     (Cmd.info "reduce" ~doc:"Reduce a bundled circuit model and report sizes.")
     Term.(
-      const (fun model orders method_ s0 scale ->
-          guarded (run model orders method_ s0 scale))
-      $ model_arg $ orders_arg $ method_arg $ s0_arg $ scale_arg
+      const (fun model orders method_ points s0 tol scale trace metrics ->
+          guarded (run model orders method_ points s0 tol scale trace metrics))
+      $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
+      $ scale_arg $ trace_arg $ metrics_arg $ const ())
+
+let simulate_cmd =
+  let run model scale t1 samples freq amp trace metrics () =
+    setup_logs (Some Logs.Warning);
+    setup_obs ~trace ~metrics;
+    let q = build_model ~scale model in
+    let input = default_input q ~freq ~amp in
+    let times, y = Vmor.transient ~samples q ~input ~t1 in
+    Printf.printf
+      "model %s: %d states, %d samples to t=%g\n  output peak %.6g, final %.6g\n"
+      model (Volterra.Qldae.dim q) (Array.length times) t1
+      (Waves.Metrics.peak y)
+      y.(Array.length y - 1)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Transient-simulate a bundled circuit model (first output).")
+    Term.(
+      const (fun model scale t1 samples freq amp trace metrics ->
+          guarded (run model scale t1 samples freq amp trace metrics))
+      $ model_arg $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg
+      $ trace_arg $ metrics_arg $ const ())
+
+let compare_cmd =
+  let run model orders method_ points s0 tol scale t1 samples freq amp trace
+      metrics () =
+    setup_logs (Some Logs.Warning);
+    setup_obs ~trace ~metrics;
+    let q = build_model ~scale model in
+    let k1, k2, k3 = orders in
+    let options = build_options ~method_ ~points ?s0 ~tol () in
+    let r = Vmor.reduce ~options ~orders:{ k1; k2; k3 } q in
+    let input = default_input q ~freq ~amp in
+    let c = Vmor.compare_transient ~samples q r ~input ~t1 in
+    Printf.printf
+      "model %s: %d states -> %d\n\
+      \  max rel error %.6f (worst case over %d output channel%s)\n"
+      model (Volterra.Qldae.dim q) (Vmor.order r) c.Vmor.max_rel_error
+      (Array.length c.Vmor.full_outputs)
+      (if Array.length c.Vmor.full_outputs = 1 then "" else "s");
+    finish_with_report (Vmor.degradation r)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Reduce a bundled model and compare full vs ROM transients (all \
+          output channels).")
+    Term.(
+      const
+        (fun model orders method_ points s0 tol scale t1 samples freq amp trace
+             metrics ->
+          guarded
+            (run model orders method_ points s0 tol scale t1 samples freq amp
+               trace metrics))
+      $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
+      $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ trace_arg
+      $ metrics_arg $ const ())
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Trace output path." in
+    Arg.(value & opt string "vmor_trace.jsonl" & info [ "o"; "out" ] ~docv:"FILE.jsonl" ~doc)
+  in
+  let run model orders method_ points s0 tol scale t1 samples freq amp out () =
+    setup_logs (Some Logs.Warning);
+    (* Tee spans into the JSONL file and an in-memory capture, so the
+       command can both persist the trace and summarize it. *)
+    let mem, captured = Obs.Sink.memory () in
+    let js = Obs.Sink.jsonl_file out in
+    Obs.Sink.set
+      {
+        Obs.Sink.on_span =
+          (fun r -> mem.Obs.Sink.on_span r; js.Obs.Sink.on_span r);
+        on_event = (fun r -> mem.Obs.Sink.on_event r; js.Obs.Sink.on_event r);
+        flush = (fun () -> js.Obs.Sink.flush ());
+      };
+    let q = build_model ~scale model in
+    let k1, k2, k3 = orders in
+    let options = build_options ~method_ ~points ?s0 ~tol () in
+    let r = Vmor.reduce ~options ~orders:{ k1; k2; k3 } q in
+    let input = default_input q ~freq ~amp in
+    let c = Vmor.compare_transient ~samples q r ~input ~t1 in
+    Obs.Sink.set Obs.Sink.null;
+    let { Obs.Sink.spans; events } = captured () in
+    Printf.printf
+      "model %s: %d states -> %d, max rel error %.6f\n\
+       trace: %d spans, %d events -> %s\n"
+      model (Volterra.Qldae.dim q) (Vmor.order r) c.Vmor.max_rel_error
+      (List.length spans) (List.length events) out;
+    Printf.printf "where the time went:\n";
+    List.iter
+      (fun (s : Obs.Sink.span_record) ->
+        Printf.printf "  %s%-28s %8.3fs  %s\n"
+          (String.make (2 * s.Obs.Sink.depth) ' ')
+          s.Obs.Sink.name s.Obs.Sink.dur
+          (String.concat " "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                s.Obs.Sink.counters)))
+      (List.filter (fun (s : Obs.Sink.span_record) -> s.Obs.Sink.depth <= 1) spans);
+    prerr_string (Obs.Metrics.render_table ());
+    finish_with_report (Vmor.degradation r)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Reduce + compare a bundled model with full tracing, write the JSONL \
+          trace, and summarize spans and kernel counts.")
+    Term.(
+      const
+        (fun model orders method_ points s0 tol scale t1 samples freq amp out ->
+          guarded
+            (run model orders method_ points s0 tol scale t1 samples freq amp
+               out))
+      $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
+      $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ out_arg
       $ const ())
 
 let autoselect_cmd =
-  let run model scale () =
+  let run model scale trace metrics () =
     setup_logs (Some Logs.Warning);
+    setup_obs ~trace ~metrics;
     let q = build_model ~scale model in
     (match Mor.Autoselect.suggest_k1 ~tol:1e-5 q with
     | Some k -> Printf.printf "Hankel SVs suggest linear order k1 = %d\n" k
@@ -184,14 +373,15 @@ let autoselect_cmd =
   Cmd.v
     (Cmd.info "autoselect"
        ~doc:"Automatically select moment orders for a bundled model (§4).")
-    Term.(const (fun model scale -> guarded (run model scale))
-          $ model_arg $ scale_arg $ const ())
+    Term.(const (fun model scale trace metrics ->
+              guarded (run model scale trace metrics))
+          $ model_arg $ scale_arg $ trace_arg $ metrics_arg $ const ())
 
 let distortion_cmd =
-  let freq_arg =
+  let dfreq_arg =
     Arg.(value & opt float 0.15 & info [ "freq" ] ~docv:"F" ~doc:"Tone frequency.")
   in
-  let amp_arg =
+  let damp_arg =
     Arg.(value & opt float 0.5 & info [ "amp" ] ~docv:"A" ~doc:"Tone amplitude.")
   in
   let run model scale freq amp () =
@@ -209,7 +399,7 @@ let distortion_cmd =
     (Cmd.info "distortion"
        ~doc:"Single-tone harmonic distortion of a bundled model.")
     Term.(const (fun model scale freq amp -> guarded (run model scale freq amp))
-          $ model_arg $ scale_arg $ freq_arg $ amp_arg $ const ())
+          $ model_arg $ scale_arg $ dfreq_arg $ damp_arg $ const ())
 
 let all_cmd =
   let run scale csv no_plots () =
@@ -251,6 +441,9 @@ let () =
               (fun ~scale () -> Experiments.Paper.fig5 ~scale ());
             table1_cmd;
             reduce_cmd;
+            simulate_cmd;
+            compare_cmd;
+            trace_cmd;
             autoselect_cmd;
             distortion_cmd;
             all_cmd;

@@ -38,12 +38,14 @@ let () =
   (* multipoint expansion: half the moments at each of two points *)
   Printf.printf "single-point vs multipoint (same total basis budget):\n";
   let single =
-    Vmor.reduce ~s0:0.0 ~orders:{ k1 = 6; k2 = 2; k3 = 0 } q
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~s0:0.0 ())
+      ~orders:{ k1 = 6; k2 = 2; k3 = 0 } q
   in
   let multi =
-    Vmor.Mor.Atmor.reduce_multipoint ~points:[ 0.0; 2.0 ]
-      ~orders:{ Vmor.Mor.Atmor.k1 = 3; k2 = 1; k3 = 0 }
-      q
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~method_:(Vmor.Multipoint [ 0.0; 2.0 ]) ())
+      ~orders:{ k1 = 3; k2 = 1; k3 = 0 } q
   in
   List.iter
     (fun (name, (r : Vmor.reduction)) ->

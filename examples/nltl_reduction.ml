@@ -43,7 +43,11 @@ let () =
   in
   List.iter
     (fun (name, method_) ->
-      let r = Vmor.reduce ~method_ ~orders:{ k1 = 6; k2 = 3; k3 = 2 } qi in
+      let r =
+        Vmor.reduce
+          ~options:(Vmor.Options.make ~method_ ())
+          ~orders:{ k1 = 6; k2 = 3; k3 = 2 } qi
+      in
       let c = Vmor.compare_transient qi r ~input:input_i ~t1:30.0 in
       Printf.printf "%-22s order %3d  max rel err %.5f  reduce %.2fs\n" name
         (Vmor.order r) c.Vmor.max_rel_error

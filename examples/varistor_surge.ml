@@ -13,7 +13,11 @@ let () =
     (Vmor.Volterra.Qldae.has_g3 q)
     (Vmor.Volterra.Qldae.has_g2 q);
 
-  let r = Vmor.reduce ~s0:0.5 ~orders:{ k1 = 6; k2 = 0; k3 = 2 } q in
+  let r =
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~s0:0.5 ())
+      ~orders:{ k1 = 6; k2 = 0; k3 = 2 } q
+  in
   Printf.printf "reduced to %d states\n\n" (Vmor.order r);
 
   let surge = Vmor.Waves.Source.surge ~t_rise:0.6 ~t_fall:6.0 98.0 in
@@ -53,7 +57,11 @@ let () =
   let y0 = Vmor.La.Vec.dot (Vmor.La.Mat.row q.Vmor.Volterra.Qldae.c 0) x0 in
   Printf.printf "\nwith a standing supply: output bias %.0f V\n" (100.0 *. y0);
   let shifted = Vmor.Volterra.Qldae.shift_equilibrium q ~x0 ~u0 in
-  let rb = Vmor.reduce ~s0:0.5 ~orders:{ k1 = 6; k2 = 2; k3 = 2 } shifted in
+  let rb =
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~s0:0.5 ())
+      ~orders:{ k1 = 6; k2 = 2; k3 = 2 } shifted
+  in
   let du = Vmor.Waves.Source.surge ~t_rise:0.6 ~t_fall:6.0 60.0 in
   let sol_full =
     Vmor.Volterra.Qldae.simulate q ~x0

@@ -1,11 +1,13 @@
 (* High-level facade over the AT-NMOR stack: build or load a QLDAE,
-   reduce it with the paper's method (or the NORM baseline), simulate,
-   and compare — in a handful of calls. The submodule aliases re-export
-   the full underlying API for power users. *)
+   reduce it with the paper's method (or the NORM baseline, or a
+   multipoint expansion), simulate, and compare — in a handful of
+   calls. The submodule aliases re-export the full underlying API for
+   power users. *)
 
 module La = La
 module Contract = Contract
 module Robust = Robust
+module Obs = Obs
 module Ode = Ode
 module Circuit = Circuit
 module Volterra = Volterra
@@ -15,18 +17,57 @@ module Experiments = Experiments
 
 type system = Volterra.Qldae.t
 
-type method_ = Associated_transform | Norm_baseline
+type method_ =
+  | Associated_transform
+  | Norm_baseline
+  | Multipoint of float list
 
 type orders = Mor.Atmor.orders = { k1 : int; k2 : int; k3 : int }
 
 type reduction = Mor.Atmor.result
 
-(* Reduce a QLDAE by projection NMOR. *)
-let reduce ?s0 ?tol ?(method_ = Associated_transform) ~orders (q : system) :
-    reduction =
+module Options = struct
+  type t = {
+    s0 : float option;
+    tol : float;
+    method_ : method_;
+    policy : Robust.Policy.t option;
+    recorder : Robust.Report.recorder option;
+    fault : Robust.Faultify.plan option;
+    h3_triples : [ `All | `Diagonal ];
+  }
+
+  let default =
+    {
+      s0 = None;
+      tol = 1e-8;
+      method_ = Associated_transform;
+      policy = None;
+      recorder = None;
+      fault = None;
+      h3_triples = `All;
+    }
+
+  let make ?s0 ?(tol = 1e-8) ?(method_ = Associated_transform) ?policy
+      ?recorder ?fault ?(h3_triples = `All) () =
+    { s0; tol; method_; policy; recorder; fault; h3_triples }
+end
+
+let reduce ?(options = Options.default) ~orders (q : system) : reduction =
+  let { Options.s0; tol; method_; policy; recorder; fault; h3_triples } =
+    options
+  in
   match method_ with
-  | Associated_transform -> Mor.Atmor.reduce ?s0 ?tol ~orders q
-  | Norm_baseline -> Mor.Norm.reduce ?s0 ?tol ~orders q
+  | Associated_transform ->
+    Mor.Atmor.reduce ?recorder ?policy ?fault ?s0 ~tol ~h3_triples ~orders q
+  | Norm_baseline -> Mor.Norm.reduce ?s0 ~tol ~orders q
+  | Multipoint points ->
+    Mor.Atmor.reduce_multipoint ?recorder ~tol ~h3_triples ~points ~orders q
+
+(* Deprecated pre-Options entry point, kept as a thin wrapper. *)
+let reduce_legacy ?s0 ?tol ?(method_ = Associated_transform) ~orders
+    (q : system) : reduction =
+  reduce ~options:(Options.make ?s0 ?tol ~method_ ()) ~orders q
 
 (* Recovery events behind a reduction (empty = clean run). *)
 let degradation (r : reduction) : Robust.Report.t = r.Mor.Atmor.degradation
@@ -46,28 +87,44 @@ type comparison = {
   times : float array;
   full_output : float array;
   rom_output : float array;
+  full_outputs : float array array;
+  rom_outputs : float array array;
   rel_error : float array;
   max_rel_error : float;
 }
 
-(* Simulate the full model and a reduction side by side. *)
-let compare_transient ?solver ?samples (q : system) (r : reduction)
-    ~(input : float -> La.Vec.t) ~t1 : comparison =
-  let times, full_output = transient ?solver ?samples q ~input ~t1 in
-  let _, rom_output = transient ?solver ?samples (rom r) ~input ~t1 in
+(* Simulate the full model and a reduction side by side, comparing
+   every output channel; [rel_error] is the worst case across channels
+   at each sample. *)
+let compare_transient ?solver ?samples:(samples = 201) (q : system)
+    (r : reduction) ~(input : float -> La.Vec.t) ~t1 : comparison =
+  let full_sol = Volterra.Qldae.simulate ?solver q ~input ~t0:0.0 ~t1 ~samples in
+  let rom_sol =
+    Volterra.Qldae.simulate ?solver (rom r) ~input ~t0:0.0 ~t1 ~samples
+  in
+  let full_outputs = Volterra.Qldae.outputs q full_sol in
+  let rom_outputs = Volterra.Qldae.outputs (rom r) rom_sol in
+  let channel_errors =
+    Array.map2
+      (fun reference approx ->
+        Waves.Metrics.relative_error_series ~reference ~approx)
+      full_outputs rom_outputs
+  in
   let rel_error =
-    Waves.Metrics.relative_error_series ~reference:full_output
-      ~approx:rom_output
+    Array.init samples (fun i ->
+        Array.fold_left (fun acc e -> Float.max acc e.(i)) 0.0 channel_errors)
   in
   {
-    times;
-    full_output;
-    rom_output;
+    times = full_sol.Ode.Types.times;
+    full_output = full_outputs.(0);
+    rom_output = rom_outputs.(0);
+    full_outputs;
+    rom_outputs;
     rel_error;
     max_rel_error = Array.fold_left Float.max 0.0 rel_error;
   }
 
-(* Render a comparison as a terminal plot. *)
+(* Render a comparison as a terminal plot (first output channel). *)
 let plot_comparison (c : comparison) : string =
   Waves.Asciiplot.render ~xs:c.times
     [ ("Original", c.full_output); ("Reduced", c.rom_output) ]

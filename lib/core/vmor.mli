@@ -11,7 +11,22 @@
                     [ Vmor.Waves.Source.damped_sine ~freq:0.125 ~decay:0.08 0.8 ])
       in
       print_string (Vmor.plot_comparison c)
-    ]} *)
+    ]}
+
+    Non-default knobs (expansion point, recovery policy, fault
+    injection, MISO third-order coverage, the NORM baseline or a
+    multipoint expansion) are bundled in one {!Options} value:
+    {[
+      let r =
+        Vmor.reduce
+          ~options:(Vmor.Options.make ~s0:0.5 ~method_:Vmor.Norm_baseline ())
+          ~orders:{ k1 = 6; k2 = 3; k3 = 0 } q
+    ]}
+
+    {b Migration note.} Before the [Options] redesign, [reduce] took
+    [?s0]/[?tol]/[?method_] directly; that signature survives as the
+    deprecated {!reduce_legacy} and will be removed in a later
+    release. *)
 
 module La = La
 
@@ -22,6 +37,12 @@ module Contract = Contract
 (** Typed error taxonomy, retry/fallback policies, recovery reports and
     fault injection (see DESIGN.md §7). *)
 module Robust = Robust
+
+(** Observability layer: hierarchical timed spans, kernel counters and
+    pluggable trace sinks (see DESIGN.md §8). Enable with the
+    [VMOR_TRACE]/[VMOR_METRICS] environment knobs or the CLI's
+    [--trace]/[--metrics] flags. *)
+module Obs = Obs
 
 module Ode = Ode
 module Circuit = Circuit
@@ -35,26 +56,67 @@ type system = Volterra.Qldae.t
 type method_ =
   | Associated_transform  (** the paper's proposed method *)
   | Norm_baseline  (** multivariate moment matching (Li & Pileggi) *)
+  | Multipoint of float list
+      (** associated-transform expansion at several points (paper §4,
+          third bullet); the list must be non-empty *)
 
 type orders = Mor.Atmor.orders = { k1 : int; k2 : int; k3 : int }
 type reduction = Mor.Atmor.result
 
-(** Reduce a QLDAE by projection NMOR (default: the associated-transform
-    method). *)
-val reduce :
-  ?s0:float -> ?tol:float -> ?method_:method_ -> orders:orders -> system -> reduction
+(** Everything that tunes a reduction, in one record.  Build with
+    {!Options.make} (or update {!Options.default}) so adding future
+    fields stays source-compatible. *)
+module Options : sig
+  type t = {
+    s0 : float option;  (** expansion point; [None] = automatic *)
+    tol : float;  (** deflation tolerance of the basis QR *)
+    method_ : method_;
+    policy : Robust.Policy.t option;  (** recovery/retry policy *)
+    recorder : Robust.Report.recorder option;
+        (** shared event recorder; reduction events also land in the
+            result's [degradation] either way *)
+    fault : Robust.Faultify.plan option;  (** fault injection (tests) *)
+    h3_triples : [ `All | `Diagonal ];
+        (** MISO third-order input-triple coverage *)
+  }
 
-(** The reduced-order model of a reduction. *)
+  val default : t
+  (** [Associated_transform] at the automatic expansion point,
+      [tol = 1e-8], no recovery overrides, [`All] triples. *)
+
+  val make :
+    ?s0:float ->
+    ?tol:float ->
+    ?method_:method_ ->
+    ?policy:Robust.Policy.t ->
+    ?recorder:Robust.Report.recorder ->
+    ?fault:Robust.Faultify.plan ->
+    ?h3_triples:[ `All | `Diagonal ] ->
+    unit ->
+    t
+end
+
+val reduce : ?options:Options.t -> orders:orders -> system -> reduction
+(** Reduce a QLDAE by projection NMOR ({!Options.default} when
+    [options] is omitted). *)
+
+val reduce_legacy :
+  ?s0:float -> ?tol:float -> ?method_:method_ -> orders:orders -> system ->
+  reduction
+  [@@ocaml.deprecated "use Vmor.reduce ~options:(Vmor.Options.make ...)"]
+(** The pre-[Options] signature, kept as a thin wrapper over
+    {!reduce}. Produces identical results. *)
+
 val rom : reduction -> system
+(** The reduced-order model of a reduction. *)
 
+val degradation : reduction -> Robust.Report.t
 (** Recovery events behind a reduction; empty for a clean run,
     [Robust.Report.degraded] when moment orders were dropped. *)
-val degradation : reduction -> Robust.Report.t
 
-(** Reduced dimension. *)
 val order : reduction -> int
+(** Reduced dimension. *)
 
-(** Transient simulation from rest; times and first output series. *)
 val transient :
   ?solver:Volterra.Qldae.solver ->
   ?samples:int ->
@@ -62,16 +124,22 @@ val transient :
   input:(float -> La.Vec.t) ->
   t1:float ->
   float array * float array
+(** Transient simulation from rest; times and the {e first} output
+    series only. Use [Volterra.Qldae.simulate] + [Qldae.outputs] for
+    all channels of a MIMO system. *)
 
 type comparison = {
   times : float array;
-  full_output : float array;
-  rom_output : float array;
+  full_output : float array;  (** first output channel of the full model *)
+  rom_output : float array;  (** first output channel of the ROM *)
+  full_outputs : float array array;  (** all channels, [n_outputs x samples] *)
+  rom_outputs : float array array;
   rel_error : float array;
-  max_rel_error : float;
+      (** worst-case relative error {e across all output channels} at
+          each sample *)
+  max_rel_error : float;  (** maximum of [rel_error] over the transient *)
 }
 
-(** Simulate full model and ROM side by side on the same input. *)
 val compare_transient :
   ?solver:Volterra.Qldae.solver ->
   ?samples:int ->
@@ -80,6 +148,12 @@ val compare_transient :
   input:(float -> La.Vec.t) ->
   t1:float ->
   comparison
+(** Simulate full model and ROM side by side on the same input.
 
-(** Terminal plot of a comparison. *)
+    Every output channel of a MIMO system is compared: [rel_error] and
+    [max_rel_error] are worst-case over channels, while [full_output] /
+    [rom_output] keep the first channel for plotting. (Earlier versions
+    silently compared only the first channel.) *)
+
 val plot_comparison : comparison -> string
+(** Terminal plot of a comparison (first output channel). *)

@@ -26,10 +26,7 @@ type t = {
   runs : rom_run list;
 }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let y = f () in
-  (y, Unix.gettimeofday () -. t0)
+let timed f = Obs.Clock.time f
 
 (* Simulate one QLDAE and return the (first) output series. *)
 let simulate_output ?solver (q : Volterra.Qldae.t) ~input ~t0 ~t1 ~samples =

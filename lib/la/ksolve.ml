@@ -208,6 +208,7 @@ let solve_shifted_gen ?mu t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
     (Printf.sprintf "order k = %d must be >= 1" k);
   Contract.require_len "Ksolve.solve_shifted" ~expected:(expected_len t.n k)
     ~actual:(Cvec.dim v);
+  Obs.Metrics.incr Obs.Metrics.Shifted_solve;
   let u = Schur.unitary t.schur and tt = Schur.triangular t.schur in
   (* w = (U^H)⊗k v *)
   let w = ref v in
@@ -288,6 +289,7 @@ let adjoint_vec t (b : Vec.t) : Cvec.t =
 let tri_solve_shifted ?mu t ~k ~(sigma : Complex.t) (w : Cvec.t) : Cvec.t =
   Contract.require_len "Ksolve.tri_solve_shifted"
     ~expected:(expected_len t.n k) ~actual:(Cvec.dim w);
+  Obs.Metrics.incr Obs.Metrics.Shifted_solve;
   tri_solve ?mu (Schur.triangular t.schur) ~k ~sigma w
 
 (* The unitary factor, for callers assembling custom Schur-basis

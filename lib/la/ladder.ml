@@ -254,6 +254,7 @@ let try_solve t (b : Vec.t) : (Vec.t, Robust.Error.t) result =
   let rung_thunk r =
     ( rung_name r,
       fun () ->
+        Obs.Metrics.incr Obs.Metrics.Ladder_attempt;
         let x =
           match r with
           | `Lu -> Lu.solve (force_lu t) b

@@ -10,6 +10,7 @@ type t = {
 
 let factor a =
   if not (Mat.is_square a) then invalid_arg "Lu.factor: matrix not square";
+  Obs.Metrics.incr Obs.Metrics.Lu_factor;
   let n = Mat.rows a in
   let lu = Mat.copy a in
   let piv = Array.make n 0 in
@@ -57,6 +58,7 @@ let apply_permutation t (b : Vec.t) =
 let solve t (b : Vec.t) : Vec.t =
   let n = dim t in
   if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  Obs.Metrics.incr Obs.Metrics.Lu_solve;
   let x = apply_permutation t b in
   (* Forward substitution with unit lower triangle. *)
   for i = 1 to n - 1 do

@@ -115,6 +115,7 @@ let mul_vec m (v : Vec.t) : Vec.t =
     invalid_arg
       (Printf.sprintf "Mat.mul_vec: dimension mismatch (%dx%d * %d)" m.rows
          m.cols (Array.length v));
+  Obs.Metrics.incr Obs.Metrics.Matvec;
   let out = Vec.create m.rows in
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in

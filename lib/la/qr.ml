@@ -146,7 +146,9 @@ let orthonormalize ?(tol = 1e-10) (vs : Vec.t list) : Vec.t list =
           Vec.scale_inplace (1.0 /. n) v;
           basis := v :: !basis
         end
-      end)
+        else Obs.Metrics.incr Obs.Metrics.Deflation_discard
+      end
+      else Obs.Metrics.incr Obs.Metrics.Deflation_discard)
     vs;
   List.rev !basis
 

@@ -26,6 +26,7 @@ let run ?recorder ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k () : result =
   let breakdown = ref false in
   (try
      while !j < k do
+       Obs.Metrics.incr Obs.Metrics.Arnoldi_iter;
        let w = matvec vs.(!j) in
        (* A non-finite operator application (faulty matvec, overflow)
           would poison every later column through MGS; truncate to the

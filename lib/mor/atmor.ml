@@ -61,7 +61,8 @@ exception Accepted of Vec.t list * float * orders
 let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
     ~(orders : orders) (q : Qldae.t) : result =
   require_orders "Atmor.reduce" orders;
-  let t_start = Unix.gettimeofday () in
+  Obs.Span.with_ ~name:"atmor.reduce" @@ fun () ->
+  let t_start = Obs.Clock.now () in
   let policy = match policy with Some p -> p | None -> Robust.Policy.default () in
   let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
   let mark0 = Robust.Report.mark rec0 in
@@ -167,7 +168,9 @@ let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
   in
   let basis = check_basis "Atmor.reduce: basis" (Qr.orth_mat ~tol vectors) in
   let rom = Qldae.project q basis in
-  let dt = Unix.gettimeofday () -. t_start in
+  let dt = Obs.Clock.now () -. t_start in
+  Obs.Metrics.set_gauge "reduced_order" (float_of_int (Mat.cols basis));
+  Obs.Metrics.observe "reduction_seconds" dt;
   {
     basis;
     rom;
@@ -186,7 +189,8 @@ let reduce_multipoint ?recorder ?(tol = 1e-8) ?(h3_triples = `All)
     ~(points : float list) ~(orders : orders) (q : Qldae.t) : result =
   require_orders "Atmor.reduce_multipoint" orders;
   if points = [] then invalid_arg "Atmor.reduce_multipoint: no points";
-  let t_start = Unix.gettimeofday () in
+  Obs.Span.with_ ~name:"atmor.reduce_multipoint" @@ fun () ->
+  let t_start = Obs.Clock.now () in
   let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
   let mark0 = Robust.Report.mark rec0 in
   let vectors =
@@ -208,7 +212,9 @@ let reduce_multipoint ?recorder ?(tol = 1e-8) ?(h3_triples = `All)
     check_basis "Atmor.reduce_multipoint: basis" (Qr.orth_mat ~tol vectors)
   in
   let rom = Qldae.project q basis in
-  let dt = Unix.gettimeofday () -. t_start in
+  let dt = Obs.Clock.now () -. t_start in
+  Obs.Metrics.set_gauge "reduced_order" (float_of_int (Mat.cols basis));
+  Obs.Metrics.observe "reduction_seconds" dt;
   {
     basis;
     rom;
@@ -237,7 +243,8 @@ let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
   require_orders "Atmor.reduce_sylvester" orders;
   Contract.require_len "Atmor.reduce_sylvester: SISO only" ~expected:1
     ~actual:(Qldae.n_inputs q);
-  let t_start = Unix.gettimeofday () in
+  Obs.Span.with_ ~name:"atmor.reduce_sylvester" @@ fun () ->
+  let t_start = Obs.Clock.now () in
   let eng = Assoc.create ?s0 q in
   let s0v = Assoc.s0 eng in
   let n = Qldae.dim q in
@@ -288,7 +295,7 @@ let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
     check_basis "Atmor.reduce_sylvester: basis" (Qr.orth_mat ~tol vectors)
   in
   let rom = Qldae.project q basis in
-  let dt = Unix.gettimeofday () -. t_start in
+  let dt = Obs.Clock.now () -. t_start in
   {
     basis;
     rom;

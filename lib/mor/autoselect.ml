@@ -64,7 +64,8 @@ let reduce_loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Autoselect.reduce
 let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
     ?(max_orders = { Atmor.k1 = 12; k2 = 6; k3 = 3 }) ?(h3_triples = `All)
     (q : Qldae.t) : selection =
-  let t_start = Unix.gettimeofday () in
+  Obs.Span.with_ ~name:"autoselect.reduce" @@ fun () ->
+  let t_start = Obs.Clock.now () in
   let policy = match policy with Some p -> p | None -> Robust.Policy.default () in
   let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
   let mark0 = Robust.Report.mark rec0 in
@@ -244,7 +245,7 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
         orders = chosen;
         s0 = Assoc.s0 eng;
         raw_moments = !raw;
-        reduction_seconds = Unix.gettimeofday () -. t_start;
+        reduction_seconds = Obs.Clock.now () -. t_start;
         degradation = Robust.Report.since rec0 mark0;
       };
     chosen;

@@ -26,7 +26,8 @@ let reduce ?s0 ?(tol = 1e-8) ~(orders : Atmor.orders) (q : Qldae.t) : result =
     "dimension mismatch"
     (Printf.sprintf "moment orders (%d, %d, %d) must be non-negative"
        orders.Atmor.k1 orders.Atmor.k2 orders.Atmor.k3);
-  let t_start = Unix.gettimeofday () in
+  Obs.Span.with_ ~name:"norm.reduce" @@ fun () ->
+  let t_start = Obs.Clock.now () in
   (* reuse the Assoc default so both methods expand at the same point *)
   let s0 =
     match s0 with Some s -> s | None -> Assoc.s0 (Assoc.create q)
@@ -158,7 +159,9 @@ let reduce ?s0 ?(tol = 1e-8) ~(orders : Atmor.orders) (q : Qldae.t) : result =
   (* projection-basis boundary (VMOR_CHECKS-gated) *)
   Contract.require_finite "Norm.reduce: basis" (Mat.data basis);
   let rom = Qldae.project q basis in
-  let dt = Unix.gettimeofday () -. t_start in
+  let dt = Obs.Clock.now () -. t_start in
+  Obs.Metrics.set_gauge "reduced_order" (float_of_int (Mat.cols basis));
+  Obs.Metrics.observe "reduction_seconds" dt;
   {
     Atmor.basis;
     rom;

@@ -45,7 +45,8 @@ type result = Atmor.result
    QLDAE onto the snapshot subspace. *)
 let reduce ?(energy = 0.99999999) ?(max_modes = 40) (q : Qldae.t)
     ~(input : float -> Vec.t) ~t0 ~t1 ~samples : result =
-  let t_start = Unix.gettimeofday () in
+  Obs.Span.with_ ~name:"pod.reduce" @@ fun () ->
+  let t_start = Obs.Clock.now () in
   let sol = Qldae.simulate q ~input ~t0 ~t1 ~samples in
   let snapshots = Array.to_list sol.Ode.Types.states in
   (* include the input directions so the forced response is never
@@ -58,6 +59,6 @@ let reduce ?(energy = 0.99999999) ?(max_modes = 40) (q : Qldae.t)
     orders = { Atmor.k1 = 0; k2 = 0; k3 = 0 };
     s0 = Float.nan;
     raw_moments = List.length snapshots;
-    reduction_seconds = Unix.gettimeofday () -. t_start;
+    reduction_seconds = Obs.Clock.now () -. t_start;
     degradation = Robust.Report.empty;
   }

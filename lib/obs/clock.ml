@@ -1,0 +1,11 @@
+(* The single place in the repo allowed to read the wall clock.  A lint
+   rule (raw-clock) forbids [Unix.gettimeofday] / [Sys.time] everywhere
+   outside lib/obs, so every timing measurement is attributable to this
+   module and can be redirected or mocked in one place. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let y = f () in
+  (y, now () -. t0)

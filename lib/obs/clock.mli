@@ -1,0 +1,12 @@
+(** Wall-clock access for the whole repo.
+
+    All timing in vmor goes through this module; raw
+    [Unix.gettimeofday] / [Sys.time] calls outside [lib/obs] are
+    rejected by the [raw-clock] lint rule. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed wall time in seconds. *)

@@ -1,0 +1,163 @@
+(* Process-wide kernel counters, gauges and histograms.
+
+   Counters are the hot primitive: a fixed enum indexing a flat int
+   array, so an increment is one bounds-checked store guarded by one
+   boolean load.  [set_enabled false] turns every increment into a
+   no-op, which gives the overhead benchmark a genuine uninstrumented
+   baseline.  Gauges and histograms are string-keyed and only touched
+   on cold paths (end of a reduction, end of a simulation). *)
+
+type counter =
+  | Lu_factor
+  | Lu_solve
+  | Shifted_solve
+  | Matvec
+  | Arnoldi_iter
+  | Deflation_discard
+  | Ode_step
+  | Ode_rejected
+  | Newton_iter
+  | Ladder_attempt
+  | Recovery_event
+
+let n_counters = 11
+
+let index = function
+  | Lu_factor -> 0
+  | Lu_solve -> 1
+  | Shifted_solve -> 2
+  | Matvec -> 3
+  | Arnoldi_iter -> 4
+  | Deflation_discard -> 5
+  | Ode_step -> 6
+  | Ode_rejected -> 7
+  | Newton_iter -> 8
+  | Ladder_attempt -> 9
+  | Recovery_event -> 10
+
+let name = function
+  | Lu_factor -> "lu_factor"
+  | Lu_solve -> "lu_solve"
+  | Shifted_solve -> "shifted_solve"
+  | Matvec -> "matvec"
+  | Arnoldi_iter -> "arnoldi_iter"
+  | Deflation_discard -> "deflation_discard"
+  | Ode_step -> "ode_step"
+  | Ode_rejected -> "ode_rejected"
+  | Newton_iter -> "newton_iter"
+  | Ladder_attempt -> "ladder_attempt"
+  | Recovery_event -> "recovery_event"
+
+let all =
+  [ Lu_factor; Lu_solve; Shifted_solve; Matvec; Arnoldi_iter;
+    Deflation_discard; Ode_step; Ode_rejected; Newton_iter;
+    Ladder_attempt; Recovery_event ]
+
+let counts = Array.make n_counters 0
+let enabled = ref true
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let incr ?(by = 1) c = if !enabled then counts.(index c) <- counts.(index c) + by
+let get c = counts.(index c)
+
+(* ------------------------------------------------------------------ *)
+(* Gauges: last-write-wins named floats.                              *)
+
+let gauge_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let set_gauge k v = if !enabled then Hashtbl.replace gauge_tbl k v
+
+let gauges () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms: streaming count/sum/min/max per name.                  *)
+
+type hstat = { count : int; sum : float; minv : float; maxv : float }
+
+let hist_tbl : (string, hstat) Hashtbl.t = Hashtbl.create 16
+
+let observe k v =
+  if !enabled then
+    let h =
+      match Hashtbl.find_opt hist_tbl k with
+      | None -> { count = 1; sum = v; minv = v; maxv = v }
+      | Some h ->
+        { count = h.count + 1; sum = h.sum +. v;
+          minv = min h.minv v; maxv = max h.maxv v }
+    in
+    Hashtbl.replace hist_tbl k h
+
+let histograms () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and deltas.                                              *)
+
+type snapshot = int array
+
+let snapshot () = Array.copy counts
+
+let since (snap : snapshot) =
+  List.filter_map
+    (fun c ->
+      let d = counts.(index c) - snap.(index c) in
+      if d = 0 then None else Some (c, d))
+    all
+
+let reset () =
+  Array.fill counts 0 n_counters 0;
+  Hashtbl.reset gauge_tbl;
+  Hashtbl.reset hist_tbl
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                         *)
+
+let to_csv_string () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "kind,name,value\n";
+  List.iter
+    (fun c -> Buffer.add_string b (Printf.sprintf "counter,%s,%d\n" (name c) (get c)))
+    all;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "gauge,%s,%.9g\n" k v))
+    (gauges ());
+  List.iter
+    (fun (k, h) ->
+      Buffer.add_string b
+        (Printf.sprintf "histogram,%s,count=%d;sum=%.9g;min=%.9g;max=%.9g\n"
+           k h.count h.sum h.minv h.maxv))
+    (histograms ());
+  Buffer.contents b
+
+let write_csv path =
+  let oc = open_out path in
+  output_string oc (to_csv_string ());
+  close_out oc
+
+let render_table () =
+  let b = Buffer.create 512 in
+  let rule = String.make 46 '-' in
+  Buffer.add_string b "vmor metrics\n";
+  Buffer.add_string b (rule ^ "\n");
+  List.iter
+    (fun c ->
+      if get c > 0 then
+        Buffer.add_string b (Printf.sprintf "  %-24s %12d\n" (name c) (get c)))
+    all;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-24s %12.6g\n" k v))
+    (gauges ());
+  List.iter
+    (fun (k, h) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-24s n=%d avg=%.4g min=%.4g max=%.4g\n" k h.count
+           (h.sum /. float_of_int (max 1 h.count))
+           h.minv h.maxv))
+    (histograms ());
+  Buffer.add_string b (rule ^ "\n");
+  Buffer.contents b

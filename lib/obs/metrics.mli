@@ -1,0 +1,74 @@
+(** Process-wide kernel counters, gauges and histograms.
+
+    Counters attribute reduction/simulation cost to the kernels the
+    paper's complexity claims are stated in: LU factorizations,
+    shifted Kronecker-sum solves, matrix-vector products, Krylov
+    (Arnoldi) iterations, deflation discards, ODE steps/rejections,
+    Newton iterations and recovery-ladder attempts.
+
+    Counting is on by default (an increment is one guarded array
+    store); [set_enabled false] makes every recording operation a
+    no-op, giving benchmarks an uninstrumented baseline. *)
+
+type counter =
+  | Lu_factor          (** dense LU factorizations ([La.Lu.factor]) *)
+  | Lu_solve           (** triangular solves against an LU factor *)
+  | Shifted_solve      (** shifted Kronecker-sum solves ([La.Ksolve]) *)
+  | Matvec             (** dense matrix-vector products on Krylov paths *)
+  | Arnoldi_iter       (** Arnoldi/MGS iterations *)
+  | Deflation_discard  (** basis candidates dropped by QR deflation *)
+  | Ode_step           (** accepted integrator steps *)
+  | Ode_rejected       (** rejected/halved integrator steps *)
+  | Newton_iter        (** Newton iterations inside implicit integrators *)
+  | Ladder_attempt     (** solver fallback-ladder rung executions *)
+  | Recovery_event     (** events recorded via [Robust.Report] *)
+
+val all : counter list
+(** Every counter, in rendering order. *)
+
+val name : counter -> string
+(** Stable snake_case name used in every sink format. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) to a counter; no-op when disabled. *)
+
+val get : counter -> int
+
+val set_enabled : bool -> unit
+(** Globally enable/disable all metric recording (default: enabled). *)
+
+val is_enabled : unit -> bool
+
+val set_gauge : string -> float -> unit
+(** Record a last-write-wins named value (e.g. ["reduced_order"]). *)
+
+val gauges : unit -> (string * float) list
+(** All gauges, sorted by name. *)
+
+type hstat = { count : int; sum : float; minv : float; maxv : float }
+
+val observe : string -> float -> unit
+(** Feed one observation into the named histogram. *)
+
+val histograms : unit -> (string * hstat) list
+(** All histograms, sorted by name. *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Capture current counter values (cheap: one array copy). *)
+
+val since : snapshot -> (counter * int) list
+(** Counter deltas accumulated after [snapshot], nonzero ones only. *)
+
+val reset : unit -> unit
+(** Zero all counters and drop all gauges/histograms. *)
+
+val to_csv_string : unit -> string
+(** CSV summary ([kind,name,value] rows) of everything recorded. *)
+
+val write_csv : string -> unit
+(** Write {!to_csv_string} to a file. *)
+
+val render_table : unit -> string
+(** Human-readable table (the [--metrics] / [VMOR_METRICS=1] output). *)

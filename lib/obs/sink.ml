@@ -1,0 +1,126 @@
+(* Pluggable trace sinks.
+
+   A sink receives finished span records and point events.  The null
+   sink is the default and is compared physically ([==]) on the hot
+   path, so a disabled tracer costs one load and one pointer compare
+   per span.  Environment knobs:
+
+     VMOR_TRACE=<file.jsonl>   install a JSONL trace sink at startup
+     VMOR_METRICS=1|stderr     print the metrics table to stderr at exit
+     VMOR_METRICS=<file.csv>   write the metrics CSV summary at exit
+
+   Explicit [set] (CLI flags, tests) overrides the environment. *)
+
+type span_record = {
+  name : string;
+  depth : int;
+  start : float;
+  dur : float;
+  counters : (string * int) list;
+}
+
+type event_record = {
+  name : string;
+  depth : int;
+  time : float;
+  detail : string;
+}
+
+type t = {
+  on_span : span_record -> unit;
+  on_event : event_record -> unit;
+  flush : unit -> unit;
+}
+
+let null = { on_span = ignore; on_event = ignore; flush = ignore }
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                              *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let span_to_json (r : span_record) =
+  let counters =
+    r.counters
+    |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"type\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start\":%.6f,\"dur\":%.6f,\"counters\":{%s}}"
+    (json_escape r.name) r.depth r.start r.dur counters
+
+let event_to_json (r : event_record) =
+  Printf.sprintf
+    "{\"type\":\"event\",\"name\":\"%s\",\"depth\":%d,\"time\":%.6f,\"detail\":\"%s\"}"
+    (json_escape r.name) r.depth r.time (json_escape r.detail)
+
+let jsonl oc =
+  {
+    on_span = (fun r -> output_string oc (span_to_json r ^ "\n"));
+    on_event = (fun r -> output_string oc (event_to_json r ^ "\n"));
+    flush = (fun () -> flush oc);
+  }
+
+let jsonl_file path =
+  let oc = open_out path in
+  at_exit (fun () -> close_out_noerr oc);
+  jsonl oc
+
+(* ------------------------------------------------------------------ *)
+(* In-memory capture (tests).                                         *)
+
+type captured = { spans : span_record list; events : event_record list }
+
+let memory () =
+  let spans = ref [] and events = ref [] in
+  let sink =
+    {
+      on_span = (fun r -> spans := r :: !spans);
+      on_event = (fun r -> events := r :: !events);
+      flush = ignore;
+    }
+  in
+  (sink, fun () -> { spans = List.rev !spans; events = List.rev !events })
+
+(* ------------------------------------------------------------------ *)
+(* Current sink + environment initialization.                         *)
+
+let sink = ref null
+
+let env_init =
+  lazy
+    ((match Sys.getenv_opt "VMOR_TRACE" with
+     | Some path when path <> "" -> sink := jsonl_file path
+     | _ -> ());
+     match Sys.getenv_opt "VMOR_METRICS" with
+     | Some v when v <> "" -> (
+       match String.lowercase_ascii v with
+       | "1" | "true" | "on" | "yes" | "stderr" ->
+         at_exit (fun () -> prerr_string (Metrics.render_table ()))
+       | _ -> at_exit (fun () -> Metrics.write_csv v))
+     | _ -> ())
+
+let current () =
+  Lazy.force env_init;
+  !sink
+
+let set s =
+  Lazy.force env_init;
+  !sink.flush ();
+  sink := s
+
+let is_active () = current () != null

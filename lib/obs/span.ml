@@ -1,0 +1,35 @@
+(* Hierarchical timed spans.
+
+   [with_ ~name f] is free (one sink load + pointer compare) when the
+   null sink is active; otherwise it times [f], captures the counter
+   deltas accumulated inside it, and hands a span record to the sink
+   when [f] returns or raises. *)
+
+let depth = ref 0
+
+let with_ ~name f =
+  let s = Sink.current () in
+  if s == Sink.null then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let start = Clock.now () in
+    let snap = Metrics.snapshot () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Clock.now () -. start in
+        let counters =
+          List.map (fun (c, n) -> (Metrics.name c, n)) (Metrics.since snap)
+        in
+        depth := d;
+        s.Sink.on_span { Sink.name; depth = d; start; dur; counters })
+      f
+  end
+
+let event ?(detail = "") name =
+  let s = Sink.current () in
+  if s != Sink.null then
+    s.Sink.on_event
+      { Sink.name; depth = !depth; time = Clock.now (); detail }
+
+let active () = Sink.current () != Sink.null

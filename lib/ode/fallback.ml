@@ -28,14 +28,18 @@ let try_integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?rtol ?atol ?h0
     Rkf45.integrate sys ~t0 ~t1 ~x0 ?rtol ?atol ?h0 ?hmax ?max_steps ?recorder
       ~samples ()
   in
+  let counted (name, f) =
+    (name, fun () -> Obs.Metrics.incr Obs.Metrics.Ladder_attempt; f ())
+  in
   let rungs =
-    ("rkf45", rkf45)
-    ::
-    (match sys.Types.jac with
-    | None -> []
-    | Some _ ->
-      let h = imtrap_h ~t0 ~t1 ~samples in
-      [ ("imtrap", fun () -> Imtrap.integrate sys ~t0 ~t1 ~x0 ~h ~samples ()) ])
+    List.map counted
+      (("rkf45", rkf45)
+      ::
+      (match sys.Types.jac with
+      | None -> []
+      | Some _ ->
+        let h = imtrap_h ~t0 ~t1 ~samples in
+        [ ("imtrap", fun () -> Imtrap.integrate sys ~t0 ~t1 ~x0 ~h ~samples ()) ]))
   in
   let finite sol = Array.for_all Vec.is_finite sol.Types.states in
   Robust.Policy.run_ladder ?recorder ~loc:default_loc ~classify

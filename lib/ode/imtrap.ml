@@ -45,6 +45,7 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
       while (not !converged) && !iters < max_newton do
         incr iters;
         stats.Types.newton_iters <- stats.Types.newton_iters + 1;
+        Obs.Metrics.incr Obs.Metrics.Newton_iter;
         let fz = sys.Types.rhs tn1 !z in
         stats.Types.rhs_evals <- stats.Types.rhs_evals + 1;
         (* residual F(z) *)
@@ -65,6 +66,7 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
         raise (Types.Step_failure
                  (Printf.sprintf "Imtrap: non-finite state at t=%.6g" !t));
       stats.Types.steps <- stats.Types.steps + 1;
+      Obs.Metrics.incr Obs.Metrics.Ode_step;
       x := !z;
       t := tn1
     done;

@@ -109,10 +109,14 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
       if finite && (enorm <= 1.0 || step_h <= hmin) then begin
         nonfinite_streak := false;
         stats.steps <- stats.steps + 1;
+        Obs.Metrics.incr Obs.Metrics.Ode_step;
         t := !t +. step_h;
         x := x5
       end
-      else stats.rejected <- stats.rejected + 1;
+      else begin
+        stats.rejected <- stats.rejected + 1;
+        Obs.Metrics.incr Obs.Metrics.Ode_rejected
+      end;
       if not finite then begin
         (* NaN/Inf guard: treat the attempt as rejected and halve the
            step — the error norm is meaningless, and the old factor

@@ -21,7 +21,13 @@ type recorder = { mutable rev_events : event list }
 
 let recorder () = { rev_events = [] }
 
-let record r ~action error = r.rev_events <- { error; action } :: r.rev_events
+let record r ~action error =
+  r.rev_events <- { error; action } :: r.rev_events;
+  (* Bridge every recovery event into the observability layer, so a
+     trace of a degraded run tells the whole story in one file. *)
+  Obs.Metrics.incr Obs.Metrics.Recovery_event;
+  Obs.Span.event "recovery"
+    ~detail:(Printf.sprintf "[%s] %s" action (Error.to_string error))
 
 let record_opt r ~action error =
   match r with None -> () | Some r -> record r ~action error

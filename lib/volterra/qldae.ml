@@ -130,6 +130,7 @@ let default_solver = Rkf45 { rtol = 1e-7; atol = 1e-10 }
 
 let simulate ?(solver = default_solver) ?(x0 : Vec.t option) t
     ~(input : float -> Vec.t) ~t0 ~t1 ~samples : Ode.Types.solution =
+  Obs.Span.with_ ~name:"qldae.simulate" @@ fun () ->
   let x0 = match x0 with Some v -> v | None -> Vec.create t.n in
   let sys = ode_system t ~input in
   match solver with

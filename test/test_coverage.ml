@@ -195,8 +195,16 @@ let test_vmor_facade_roundtrip () =
 let test_vmor_norm_method () =
   let model = Vmor.Circuit.Models.nltl ~stages:8 ~source:(`Voltage 1.0) () in
   let q = Vmor.Circuit.Models.qldae model in
-  let at = Vmor.reduce ~method_:Vmor.Associated_transform ~orders:{ k1 = 4; k2 = 2; k3 = 0 } q in
-  let nr = Vmor.reduce ~method_:Vmor.Norm_baseline ~orders:{ k1 = 4; k2 = 2; k3 = 0 } q in
+  let at =
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~method_:Vmor.Associated_transform ())
+      ~orders:{ k1 = 4; k2 = 2; k3 = 0 } q
+  in
+  let nr =
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~method_:Vmor.Norm_baseline ())
+      ~orders:{ k1 = 4; k2 = 2; k3 = 0 } q
+  in
   Alcotest.(check bool) "NORM at least as large" true (Vmor.order nr >= Vmor.order at)
 
 (* ---- Sptensor edges ---- *)

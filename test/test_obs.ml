@@ -1,0 +1,447 @@
+(* Tests for the observability layer (lib/obs) and the Vmor facade
+   redesign that exposed it: span nesting and per-span counter
+   attribution, counter determinism against a real reduction, JSONL
+   round-trips, null-sink purity, the <2% disabled-instrumentation
+   budget, facade equivalence (deprecated wrapper vs Options path) and
+   the all-channel MIMO comparison fix. *)
+
+open La
+
+(* Every test that installs a sink must restore the null default, or
+   later suites would start tracing into a dangling closure. *)
+let with_memory_sink f =
+  let sink, captured = Obs.Sink.memory () in
+  Obs.Sink.set sink;
+  Fun.protect ~finally:(fun () -> Obs.Sink.set Obs.Sink.null) (fun () -> f ());
+  captured ()
+
+let small_nltl () =
+  Circuit.Models.qldae (Circuit.Models.nltl ~stages:8 ~source:(`Voltage 1.0) ())
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let c =
+    with_memory_sink (fun () ->
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Obs.Span.with_ ~name:"first" (fun () -> ());
+            Obs.Span.with_ ~name:"second" (fun () -> ())))
+  in
+  (* spans emit at close: children before their parent *)
+  Alcotest.(check (list string))
+    "emission order" [ "first"; "second"; "outer" ]
+    (List.map (fun (s : Obs.Sink.span_record) -> s.name) c.Obs.Sink.spans);
+  Alcotest.(check (list int))
+    "depths" [ 1; 1; 0 ]
+    (List.map (fun (s : Obs.Sink.span_record) -> s.depth) c.Obs.Sink.spans);
+  List.iter
+    (fun (s : Obs.Sink.span_record) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s duration nonnegative" s.name)
+        true (s.dur >= 0.0))
+    c.Obs.Sink.spans
+
+let test_span_counters_inclusive () =
+  let c =
+    with_memory_sink (fun () ->
+        Obs.Span.with_ ~name:"parent" (fun () ->
+            Obs.Metrics.incr Obs.Metrics.Lu_factor;
+            Obs.Span.with_ ~name:"child" (fun () ->
+                Obs.Metrics.incr ~by:3 Obs.Metrics.Matvec)))
+  in
+  let find name =
+    List.find
+      (fun (s : Obs.Sink.span_record) -> s.name = name)
+      c.Obs.Sink.spans
+  in
+  Alcotest.(check (list (pair string int)))
+    "child sees only its own counters" [ ("matvec", 3) ] (find "child").counters;
+  (* parent deltas are inclusive of the child *)
+  Alcotest.(check (list (pair string int)))
+    "parent sees child's counters too"
+    [ ("lu_factor", 1); ("matvec", 3) ]
+    (find "parent").counters
+
+let test_span_exception_safety () =
+  let c =
+    with_memory_sink (fun () ->
+        (try
+           Obs.Span.with_ ~name:"doomed" (fun () -> failwith "obs-test-boom")
+         with Failure _ -> ());
+        (* depth must be restored: the next span is top-level again *)
+        Obs.Span.with_ ~name:"after" (fun () -> ()))
+  in
+  Alcotest.(check (list (pair string int)))
+    "span emitted on raise, depth restored"
+    [ ("doomed", 0); ("after", 0) ]
+    (List.map
+       (fun (s : Obs.Sink.span_record) -> (s.name, s.depth))
+       c.Obs.Sink.spans)
+
+let test_events () =
+  let c =
+    with_memory_sink (fun () ->
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Obs.Span.event "recovery" ~detail:"[nudge:2.0001] singular-solve"))
+  in
+  match c.Obs.Sink.events with
+  | [ e ] ->
+    Alcotest.(check string) "event name" "recovery" e.Obs.Sink.name;
+    Alcotest.(check int) "event depth" 1 e.Obs.Sink.depth;
+    Alcotest.(check string)
+      "event detail" "[nudge:2.0001] singular-solve" e.Obs.Sink.detail
+  | es -> Alcotest.failf "expected exactly one event, got %d" (List.length es)
+
+(* ---- counters against a real reduction ---- *)
+
+let test_counter_determinism () =
+  let q = small_nltl () in
+  let orders = { Mor.Atmor.k1 = 4; k2 = 2; k3 = 0 } in
+  let deltas () =
+    let snap = Obs.Metrics.snapshot () in
+    ignore (Mor.Atmor.reduce ~orders q);
+    List.map (fun (c, n) -> (Obs.Metrics.name c, n)) (Obs.Metrics.since snap)
+  in
+  let first = deltas () in
+  let second = deltas () in
+  Alcotest.(check (list (pair string int)))
+    "two identical reductions count identically" first second;
+  let get name =
+    match List.assoc_opt name first with Some n -> n | None -> 0
+  in
+  Alcotest.(check bool) "at least one LU factorization" true (get "lu_factor" >= 1);
+  Alcotest.(check bool) "shifted solves counted" true (get "shifted_solve" > 0);
+  Alcotest.(check bool) "matvecs counted" true (get "matvec" > 0)
+
+let test_span_counters_match_metrics () =
+  (* the counters a traced span reports must be exactly the Metrics
+     deltas over the same region — this is what makes the JSONL trace
+     of a reduction deterministic and auditable *)
+  let q = small_nltl () in
+  let snap = ref (Obs.Metrics.snapshot ()) in
+  let c =
+    with_memory_sink (fun () ->
+        snap := Obs.Metrics.snapshot ();
+        Obs.Span.with_ ~name:"wrapper" (fun () ->
+            ignore (Mor.Atmor.reduce ~orders:{ Mor.Atmor.k1 = 4; k2 = 2; k3 = 0 } q)))
+  in
+  let expected =
+    List.map (fun (c, n) -> (Obs.Metrics.name c, n)) (Obs.Metrics.since !snap)
+  in
+  let wrapper =
+    List.find
+      (fun (s : Obs.Sink.span_record) -> s.name = "wrapper")
+      c.Obs.Sink.spans
+  in
+  Alcotest.(check (list (pair string int)))
+    "span counters = metrics deltas" expected wrapper.Obs.Sink.counters
+
+let test_disabled_counters_are_noops () =
+  let before = Obs.Metrics.get Obs.Metrics.Matvec in
+  Obs.Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled true)
+    (fun () ->
+      Obs.Metrics.incr ~by:100 Obs.Metrics.Matvec;
+      Obs.Metrics.set_gauge "obs_test_gauge" 1.0;
+      Obs.Metrics.observe "obs_test_hist" 1.0);
+  Alcotest.(check int)
+    "counter untouched while disabled" before
+    (Obs.Metrics.get Obs.Metrics.Matvec);
+  Alcotest.(check bool)
+    "gauge not recorded while disabled" true
+    (List.assoc_opt "obs_test_gauge" (Obs.Metrics.gauges ()) = None);
+  Alcotest.(check bool)
+    "histogram not recorded while disabled" true
+    (List.assoc_opt "obs_test_hist" (Obs.Metrics.histograms ()) = None)
+
+(* ---- JSONL ---- *)
+
+let test_jsonl_rendering () =
+  let span =
+    {
+      Obs.Sink.name = "atmor.reduce";
+      depth = 1;
+      start = 1.5;
+      dur = 0.25;
+      counters = [ ("lu_factor", 1); ("matvec", 42) ];
+    }
+  in
+  Alcotest.(check string)
+    "span json"
+    "{\"type\":\"span\",\"name\":\"atmor.reduce\",\"depth\":1,\"start\":1.500000,\"dur\":0.250000,\"counters\":{\"lu_factor\":1,\"matvec\":42}}"
+    (Obs.Sink.span_to_json span);
+  let event =
+    {
+      Obs.Sink.name = "recovery";
+      depth = 2;
+      time = 3.0;
+      detail = "pole \"hit\"\nat s0";
+    }
+  in
+  Alcotest.(check string)
+    "event json escapes quotes and newlines"
+    "{\"type\":\"event\",\"name\":\"recovery\",\"depth\":2,\"time\":3.000000,\"detail\":\"pole \\\"hit\\\"\\nat s0\"}"
+    (Obs.Sink.event_to_json event)
+
+let test_jsonl_file_roundtrip () =
+  (* relative path: lands in the dune sandbox, not the source tree *)
+  let path = "test_obs_trace.jsonl" in
+  let oc = open_out path in
+  let sink = Obs.Sink.jsonl oc in
+  Obs.Sink.set sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.set Obs.Sink.null;
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      Obs.Span.with_ ~name:"outer" (fun () ->
+          Obs.Span.event "ping" ~detail:"d";
+          Obs.Span.with_ ~name:"inner" (fun () ->
+              Obs.Metrics.incr Obs.Metrics.Lu_solve));
+      sink.Obs.Sink.flush ();
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = List.rev !lines in
+      Alcotest.(check int) "three JSONL lines" 3 (List.length lines);
+      let kinds =
+        List.map
+          (fun l ->
+            if String.length l > 16 && String.sub l 0 16 = "{\"type\":\"event\"," then
+              `Event
+            else `Span)
+          lines
+      in
+      (* event fires first; spans close inner-before-outer *)
+      Alcotest.(check bool)
+        "event line then two span lines" true
+        (kinds = [ `Event; `Span; `Span ]);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "line is a JSON object: %s" l)
+            true
+            (String.length l > 2
+            && l.[0] = '{'
+            && l.[String.length l - 1] = '}'))
+        lines)
+
+(* ---- null sink ---- *)
+
+let test_null_sink_purity () =
+  Obs.Sink.set Obs.Sink.null;
+  Alcotest.(check bool) "inactive under null" false (Obs.Span.active ());
+  let v = Obs.Span.with_ ~name:"untraced" (fun () -> 17) in
+  Alcotest.(check int) "value passes through" 17 v;
+  Obs.Span.event "ignored" ~detail:"nothing";
+  (* no depth leak: a traced span after the null-sink one is top-level *)
+  let c = with_memory_sink (fun () -> Obs.Span.with_ ~name:"top" (fun () -> ())) in
+  match c.Obs.Sink.spans with
+  | [ s ] -> Alcotest.(check int) "depth clean after null spans" 0 s.Obs.Sink.depth
+  | ss -> Alcotest.failf "expected one span, got %d" (List.length ss)
+
+(* ---- disabled-instrumentation overhead budget ---- *)
+
+(* The runtest-wired form of bench/main.exe's `obs` pass: counters
+   enabled (the shipping default, null sink) must cost <2% over
+   [set_enabled false] on the hottest counter site.  Interleaved
+   best-of timing plus a bounded retry keep the assertion stable on
+   noisy CI machines; the true overhead is one boolean load per
+   matvec, far below the budget. *)
+let test_disabled_overhead_budget () =
+  let rng = Random.State.make [| 41 |] in
+  let n = 40 in
+  let a = Mat.random ~rng n n in
+  let v = Mat.random_vec ~rng n in
+  let loop () =
+    for _ = 1 to 4_000 do
+      ignore (Sys.opaque_identity (Mat.mul_vec a v))
+    done
+  in
+  let time_best reps f =
+    ignore (Sys.opaque_identity (f ()));
+    let best = ref Float.infinity in
+    for _ = 1 to reps do
+      let t0 = Obs.Clock.now () in
+      f ();
+      best := Float.min !best (Obs.Clock.now () -. t0)
+    done;
+    !best
+  in
+  let measure () =
+    let off = ref Float.infinity and on_ = ref Float.infinity in
+    Fun.protect
+      ~finally:(fun () -> Obs.Metrics.set_enabled true)
+      (fun () ->
+        for _ = 1 to 4 do
+          Obs.Metrics.set_enabled false;
+          off := Float.min !off (time_best 3 loop);
+          Obs.Metrics.set_enabled true;
+          on_ := Float.min !on_ (time_best 3 loop)
+        done);
+    100.0 *. (!on_ -. !off) /. !off
+  in
+  let budget = 2.0 in
+  let rec attempt k =
+    let pct = measure () in
+    if pct < budget || k <= 1 then pct else attempt (k - 1)
+  in
+  let pct = attempt 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "enabled-counters overhead %.2f%% within %.0f%% budget" pct
+       budget)
+    true (pct < budget)
+
+(* ---- facade: Options vs deprecated wrapper ---- *)
+
+let check_same_reduction name (a : Vmor.reduction) (b : Vmor.reduction) =
+  Alcotest.(check int)
+    (name ^ ": same order") (Vmor.order a) (Vmor.order b);
+  Alcotest.(check int)
+    (name ^ ": same raw moments") a.Vmor.Mor.Atmor.raw_moments
+    b.Vmor.Mor.Atmor.raw_moments;
+  let ba = a.Vmor.Mor.Atmor.basis and bb = b.Vmor.Mor.Atmor.basis in
+  Alcotest.(check (pair int int))
+    (name ^ ": same basis shape")
+    (Mat.rows ba, Mat.cols ba)
+    (Mat.rows bb, Mat.cols bb);
+  for i = 0 to Mat.rows ba - 1 do
+    for j = 0 to Mat.cols ba - 1 do
+      if Mat.get ba i j <> Mat.get bb i j then
+        Alcotest.failf "%s: basis differs at (%d,%d): %.17g vs %.17g" name i j
+          (Mat.get ba i j) (Mat.get bb i j)
+    done
+  done
+
+let test_facade_legacy_equivalence () =
+  let q = small_nltl () in
+  let orders = { Mor.Atmor.k1 = 4; k2 = 2; k3 = 1 } in
+  let via_options =
+    Vmor.reduce ~options:(Vmor.Options.make ~s0:0.0 ~tol:1e-8 ()) ~orders q
+  in
+  let via_legacy =
+    (Vmor.reduce_legacy ~s0:0.0 ~tol:1e-8 ~orders q [@warning "-3"])
+  in
+  check_same_reduction "legacy wrapper" via_options via_legacy;
+  let direct = Mor.Atmor.reduce ~s0:0.0 ~tol:1e-8 ~orders q in
+  check_same_reduction "facade vs Mor.Atmor" via_options direct
+
+let test_facade_method_dispatch () =
+  let q = small_nltl () in
+  let orders = { Mor.Atmor.k1 = 4; k2 = 2; k3 = 0 } in
+  let norm_facade =
+    Vmor.reduce ~options:(Vmor.Options.make ~method_:Vmor.Norm_baseline ()) ~orders q
+  in
+  check_same_reduction "norm dispatch" norm_facade (Mor.Norm.reduce ~orders q);
+  (* multipoint on the RF receiver: the NLTL's H2 moments at s0 = 0
+     need the single-point engine's nudge recovery, which
+     reduce_multipoint deliberately does not do *)
+  let q_rf =
+    Circuit.Models.qldae (Circuit.Models.rf_receiver ~lna_stages:5 ~pa_stages:5 ())
+  in
+  let points = [ 0.0; 2.0 ] in
+  let mp_orders = { Mor.Atmor.k1 = 3; k2 = 1; k3 = 0 } in
+  let mp_facade =
+    Vmor.reduce
+      ~options:(Vmor.Options.make ~method_:(Vmor.Multipoint points) ())
+      ~orders:mp_orders q_rf
+  in
+  check_same_reduction "multipoint dispatch" mp_facade
+    (Mor.Atmor.reduce_multipoint ~points ~orders:mp_orders q_rf)
+
+(* ---- MIMO comparison fix ---- *)
+
+(* Regression for the facade bug where [compare_transient] silently
+   compared only output channel 0: a ROM that is exact on channel 0
+   but wrong on channel 1 must now report a large error. *)
+let test_compare_transient_all_channels () =
+  let n = 3 in
+  let g1 = Mat.diag (Vec.of_list [ -1.0; -2.0; -3.0 ]) in
+  let b = Mat.init n 1 (fun i _ -> 1.0 /. float_of_int (i + 1)) in
+  let c_rows scale2 =
+    Mat.init 2 n (fun p j ->
+        if p = 0 then 1.0 else if j = 0 then scale2 else 0.0)
+  in
+  let q = Volterra.Qldae.make ~g1 ~b ~c:(c_rows 1.0) () in
+  let identity_reduction rom =
+    {
+      Mor.Atmor.basis = Mat.identity n;
+      rom;
+      orders = { Mor.Atmor.k1 = n; k2 = 0; k3 = 0 };
+      s0 = 0.0;
+      raw_moments = n;
+      reduction_seconds = 0.0;
+      degradation = Robust.Report.empty;
+    }
+  in
+  let input =
+    Waves.Source.vectorize [ Waves.Source.damped_sine ~freq:0.2 ~decay:0.1 1.0 ]
+  in
+  (* exact "ROM": both channels agree *)
+  let exact = identity_reduction q in
+  let c_ok = Vmor.compare_transient ~samples:101 q exact ~input ~t1:10.0 in
+  Alcotest.(check int) "two channels captured" 2 (Array.length c_ok.Vmor.full_outputs);
+  Alcotest.(check bool)
+    (Printf.sprintf "identical model has ~zero error (got %.3e)"
+       c_ok.Vmor.max_rel_error)
+    true
+    (c_ok.Vmor.max_rel_error < 1e-12);
+  (* tampered second channel: exact on channel 0, 2x on channel 1 *)
+  let tampered =
+    identity_reduction (Volterra.Qldae.make ~g1 ~b ~c:(c_rows 2.0) ())
+  in
+  let c_bad = Vmor.compare_transient ~samples:101 q tampered ~input ~t1:10.0 in
+  let ch0_err =
+    Waves.Metrics.max_relative_error
+      ~reference:c_bad.Vmor.full_outputs.(0)
+      ~approx:c_bad.Vmor.rom_outputs.(0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "channel 0 still agrees (got %.3e)" ch0_err)
+    true (ch0_err < 1e-12);
+  Alcotest.(check bool)
+    (Printf.sprintf "channel 1 mismatch surfaces (got %.3e)"
+       c_bad.Vmor.max_rel_error)
+    true
+    (c_bad.Vmor.max_rel_error > 0.5)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting and order" `Quick test_span_nesting;
+        Alcotest.test_case "span counters inclusive of children" `Quick
+          test_span_counters_inclusive;
+        Alcotest.test_case "span emits on exception" `Quick
+          test_span_exception_safety;
+        Alcotest.test_case "point events" `Quick test_events;
+        Alcotest.test_case "counter determinism on NLTL reduce" `Quick
+          test_counter_determinism;
+        Alcotest.test_case "span counters match metrics deltas" `Quick
+          test_span_counters_match_metrics;
+        Alcotest.test_case "disabled metrics are no-ops" `Quick
+          test_disabled_counters_are_noops;
+        Alcotest.test_case "jsonl rendering" `Quick test_jsonl_rendering;
+        Alcotest.test_case "jsonl file round-trip" `Quick
+          test_jsonl_file_roundtrip;
+        Alcotest.test_case "null sink purity" `Quick test_null_sink_purity;
+        Alcotest.test_case "disabled-instrumentation overhead <2%" `Slow
+          test_disabled_overhead_budget;
+      ] );
+    ( "facade",
+      [
+        Alcotest.test_case "Options path = deprecated wrapper" `Quick
+          test_facade_legacy_equivalence;
+        Alcotest.test_case "method dispatch (norm, multipoint)" `Quick
+          test_facade_method_dispatch;
+        Alcotest.test_case "compare_transient covers all output channels"
+          `Quick test_compare_transient_all_channels;
+      ] );
+  ]

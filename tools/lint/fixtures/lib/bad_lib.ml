@@ -3,3 +3,5 @@ let debug x = Printf.printf "%f\n" x
 let coerce (x : int) : float = Obj.magic x
 let boom () = failwith "stalled"
 let sprintf_is_fine x = Printf.sprintf "%f" x
+let wall () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -20,6 +20,9 @@
      no-bare-failwith  failwith inside library code — library failures
                        must raise the typed Robust.Error taxonomy (or a
                        Contract Invalid_argument), never a bare Failure
+     raw-clock         Unix.gettimeofday / Sys.time outside lib/obs —
+                       Obs.Clock is the sole wall-clock access, so every
+                       timing path is span-instrumentable
      parse-error       file does not parse (never allowlisted)
 
    Output is machine readable, one violation per line:
@@ -33,7 +36,7 @@
 
 let rules =
   [ "float-eq"; "obj-magic"; "lib-printf"; "raw-matrix-alloc"; "mli-pair";
-    "dim-guard"; "no-bare-failwith"; "parse-error" ]
+    "dim-guard"; "no-bare-failwith"; "raw-clock"; "parse-error" ]
 
 type violation = { file : string; line : int; rule : string; msg : string }
 
@@ -50,6 +53,15 @@ let in_lib path = List.mem "lib" (segments path)
 let in_lib_la path =
   let rec scan = function
     | "lib" :: "la" :: _ -> true
+    | _ :: rest -> scan rest
+    | [] -> false
+  in
+  scan (segments path)
+
+(* Obs.Clock is the one blessed home of raw wall-clock reads. *)
+let in_lib_obs path =
+  let rec scan = function
+    | "lib" :: "obs" :: _ -> true
     | _ :: rest -> scan rest
     | [] -> false
   in
@@ -144,6 +156,13 @@ let check_expression path (e : expression) =
   (match ident_name e with
    | Some [ "Obj"; "magic" ] ->
        report path line "obj-magic" "Obj.magic defeats the type system"
+   | Some
+       ( [ "Unix"; "gettimeofday" ] | [ "Sys"; "time" ]
+       | [ "Stdlib"; "Sys"; "time" ] )
+     when not (in_lib_obs path) ->
+       report path line "raw-clock"
+         "raw wall-clock access outside lib/obs; route timing through \
+          Obs.Clock so it is span-instrumentable"
    | Some name when in_lib path && List.mem name stdout_printers ->
        report path line "lib-printf"
          (Printf.sprintf "%s in library code; return strings or use Format \
