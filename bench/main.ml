@@ -9,7 +9,10 @@
      dune exec bench/main.exe -- fig3 table1  # selected experiments
      dune exec bench/main.exe -- kernels      # micro-benchmarks only
 
-   Experiment CSVs land in bench/out/. *)
+   Experiment CSVs land in bench/out/, along with bench.json
+   (per-experiment wall time + kernel-counter deltas; --json PATH
+   redirects it — the @gate regression rule uses that to compare a
+   reduced-scale run against bench/baseline.json). *)
 
 open Bechamel
 open Toolkit
@@ -70,12 +73,17 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~scale =
+let write_bench_json ?json_path ~scale () =
   match List.rev !bench_records with
   | [] -> ()
   | records ->
-    ensure_out_dir ();
-    let path = Filename.concat out_dir "bench.json" in
+    let path =
+      match json_path with
+      | Some p -> p
+      | None ->
+        ensure_out_dir ();
+        Filename.concat out_dir "bench.json"
+    in
     let oc = open_out path in
     let b = Buffer.create 4096 in
     Buffer.add_string b "{\n";
@@ -650,11 +658,15 @@ let ablations ~scale () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1.0 in
+  let json_path = ref None in
   let commands = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
       scale := float_of_string v;
+      parse rest
+    | "--json" :: p :: rest ->
+      json_path := Some p;
       parse rest
     | cmd :: rest ->
       commands := cmd :: !commands;
@@ -693,5 +705,5 @@ let () =
           other;
         exit 2)
     commands;
-  write_bench_json ~scale;
+  write_bench_json ?json_path:!json_path ~scale ();
   Printf.printf "total bench wall time: %.1fs\n" (Obs.Clock.now () -. t0)

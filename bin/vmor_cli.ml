@@ -333,6 +333,11 @@ let trace_cmd =
                 (fun (k, v) -> Printf.sprintf "%s=%d" k v)
                 s.Obs.Sink.counters)))
       (List.filter (fun (s : Obs.Sink.span_record) -> s.Obs.Sink.depth <= 1) spans);
+    print_string
+      (Obs.Trace.render_health
+         (Obs.Trace.of_records
+            (List.map (fun s -> Obs.Trace.Span s) spans
+            @ List.map (fun e -> Obs.Trace.Event e) events)));
     prerr_string (Obs.Metrics.render_table ());
     finish_with_report (Vmor.degradation r)
   in
@@ -350,6 +355,47 @@ let trace_cmd =
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
       $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ out_arg
       $ const ())
+
+let report_cmd =
+  let trace_file_arg =
+    let doc = "JSONL trace file (written by $(b,vmor trace) or --trace)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl" ~doc)
+  in
+  let diff_arg =
+    let doc = "Compare against $(docv) (treated as the old trace)." in
+    Arg.(value & opt (some string) None & info [ "diff" ] ~docv:"OLD.jsonl" ~doc)
+  in
+  let depth_arg =
+    let doc = "Limit the time tree to spans at depth <= $(docv)." in
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"N" ~doc)
+  in
+  let load path =
+    try Obs.Trace.load path with
+    | Obs.Trace.Malformed msg -> raise (Usage_error (path ^ ": " ^ msg))
+    | Sys_error msg -> raise (Usage_error msg)
+  in
+  let run trace_file diff max_depth () =
+    setup_logs (Some Logs.Warning);
+    match diff with
+    | Some old_file ->
+      (* --diff OLD NEW reads naturally left-to-right, so the
+         positional argument is the new trace. *)
+      print_string (Obs.Trace.render_diff (load old_file) (load trace_file))
+    | None ->
+      let t = load trace_file in
+      print_string (Obs.Trace.render_tree ?max_depth t);
+      print_newline ();
+      print_string (Obs.Trace.render_health t)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyze a JSONL trace: where-the-time-went tree and \
+          numerical-health summary, or a diff of two traces.")
+    Term.(
+      const (fun trace_file diff max_depth ->
+          guarded (run trace_file diff max_depth))
+      $ trace_file_arg $ diff_arg $ depth_arg $ const ())
 
 let autoselect_cmd =
   let run model scale trace metrics () =
@@ -444,6 +490,7 @@ let () =
             simulate_cmd;
             compare_cmd;
             trace_cmd;
+            report_cmd;
             autoselect_cmd;
             distortion_cmd;
             all_cmd;

@@ -54,6 +54,31 @@ let min_pole_distance t ~k ~(sigma : Complex.t) =
       eigs);
   !best
 
+(* Cheap conditioning estimate of the shifted operator: in the Schur
+   basis [(sigma I - ⊕^k T)] is triangular with diagonal
+   [sigma - (lam_i1 + ... + lam_ik)], so the ratio of the farthest to
+   the nearest pole distance estimates its conditioning (the unitary
+   mode transforms are isometries). Same sum sampling as
+   {!min_pole_distance}; a diagnostic, not a bound. *)
+let cond_estimate t ~k ~(sigma : Complex.t) =
+  let eigs = eigenvalues t in
+  let n = Array.length eigs in
+  let dmin = ref infinity and dmax = ref 0.0 in
+  let check z =
+    let d = Complex.norm (Complex.sub sigma z) in
+    if d < !dmin then dmin := d;
+    if d > !dmax then dmax := d
+  in
+  (match k with
+  | 1 -> Array.iter check eigs
+  | 2 when n <= 400 ->
+    Array.iter (fun a -> Array.iter (fun b -> check (Complex.add a b)) eigs) eigs
+  | _ ->
+    Array.iter
+      (fun a -> check (Complex.mul { re = float_of_int k; im = 0.0 } a))
+      eigs);
+  if !dmin <= 0.0 then infinity else !dmax /. !dmin
+
 (* ---- tensor primitives on split-complex flat arrays ---- *)
 
 (* Multiply the order-k tensor [x] (dims all [n], row-major, mode 0

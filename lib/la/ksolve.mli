@@ -29,6 +29,12 @@ val eigenvalues : t -> Complex.t array
     [λ_{i1} + ... + λ_{ik}] (exact for k ≤ 2 on moderate sizes). *)
 val min_pole_distance : t -> k:int -> sigma:Complex.t -> float
 
+(** Cheap conditioning estimate of [(σ I − ⊕^k T)]: ratio of the
+    farthest to the nearest pole distance over the sampled eigenvalue
+    sums of {!min_pole_distance} ([infinity] on a pole).  A health
+    diagnostic, not a bound. *)
+val cond_estimate : t -> k:int -> sigma:Complex.t -> float
+
 (** [solve_shifted t ~k ~sigma v] solves [(σ I − ⊕^k G) x = v]. *)
 val solve_shifted : t -> k:int -> sigma:Complex.t -> Cvec.t -> Cvec.t
 

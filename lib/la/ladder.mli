@@ -42,6 +42,11 @@ val last_rung : t -> rung
 val matrix : t -> Mat.t
 (** The wrapped matrix. *)
 
+val lu : t -> Lu.t option
+(** The cached LU factorization, when the LU rung has been factored
+    and did not come back singular. Exposed for conditioning
+    diagnostics ({!Lu.condest}); never forces a factorization. *)
+
 val solve_system :
   ?recorder:Robust.Report.recorder ->
   ?mu:float ->

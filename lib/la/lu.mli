@@ -19,6 +19,9 @@ val dim : t -> int
 (** [solve t b] solves [A x = b] for the factored [A]. *)
 val solve : t -> Vec.t -> Vec.t
 
+(** [solve_transpose t b] solves [Aᵀ x = b] on the same factors. *)
+val solve_transpose : t -> Vec.t -> Vec.t
+
 (** Column-wise solve: [solve_mat t B] solves [A X = B]. *)
 val solve_mat : t -> Mat.t -> Mat.t
 
@@ -37,3 +40,8 @@ val solve_mat_system : Mat.t -> Mat.t -> Mat.t
 (** Crude reciprocal 1-norm condition estimate (computes the explicit
     inverse; intended for diagnostics on small systems). *)
 val rcond_estimate : Mat.t -> float
+
+(** Cheap 1-norm condition estimate [‖A‖₁·est(‖A⁻¹‖₁)] on existing
+    factors (Hager-style power iteration, a handful of O(n²) solves).
+    The health-telemetry companion of {!factor}. *)
+val condest : t -> float

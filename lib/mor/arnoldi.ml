@@ -12,7 +12,8 @@ type result = {
   breakdown : bool;  (* true if the subspace became invariant before k *)
 }
 
-let run ?recorder ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k () : result =
+let run ?recorder ?(context = "arnoldi.run") ~(matvec : Vec.t -> Vec.t)
+    ~(b : Vec.t) ~k () : result =
   Contract.require "Arnoldi.run" (k >= 1) "dimension mismatch"
     (Printf.sprintf "k = %d must be >= 1" k);
   Contract.require_finite "Arnoldi.run: b" b;
@@ -24,6 +25,21 @@ let run ?recorder ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k () : result =
   let h = Mat.create (k + 1) k in
   let j = ref 0 in
   let breakdown = ref false in
+  (* Per-iteration health: the running max of |V^T V - I| costs O(j n)
+     per iteration, so it only runs when a sink is listening. *)
+  let health_on = Obs.Health.active () in
+  let ortho_loss = ref 0.0 in
+  let emit_health ~subdiag ~margin =
+    Obs.Health.emit
+      (Obs.Health.Arnoldi
+         {
+           context;
+           iteration = !j;
+           ortho_loss = !ortho_loss;
+           subdiag;
+           defl_margin = margin;
+         })
+  in
   (try
      while !j < k do
        Obs.Metrics.incr Obs.Metrics.Arnoldi_iter;
@@ -54,12 +70,26 @@ let run ?recorder ~(matvec : Vec.t -> Vec.t) ~(b : Vec.t) ~k () : result =
        done;
        let nw = Vec.norm2 w in
        Mat.set h (!j + 1) !j nw;
-       if nw <= 1e-12 *. (1.0 +. nb) then begin
+       let defl_threshold = 1e-12 *. (1.0 +. nb) in
+       let margin = nw /. defl_threshold in
+       Obs.Metrics.observe "arnoldi.subdiag" nw;
+       Obs.Metrics.observe "arnoldi.defl_margin" margin;
+       if nw <= defl_threshold then begin
+         if health_on then emit_health ~subdiag:nw ~margin;
          breakdown := true;
          incr j;
          raise Exit
        end;
        vs.(!j + 1) <- Vec.scale (1.0 /. nw) w;
+       if health_on then begin
+         let vnew = vs.(!j + 1) in
+         for i = 0 to !j do
+           ortho_loss := Float.max !ortho_loss (Float.abs (Vec.dot vs.(i) vnew))
+         done;
+         ortho_loss :=
+           Float.max !ortho_loss (Float.abs (Vec.dot vnew vnew -. 1.0));
+         emit_health ~subdiag:nw ~margin
+       end;
        incr j
      done
    with Exit -> ());
@@ -82,4 +112,9 @@ let shifted_krylov ?recorder ~(a : Mat.t) ~(b : Vec.t) ~s0 ~k () : result =
   let n = Mat.rows a in
   let m = Mat.sub (Mat.scale s0 (Mat.identity n)) a in
   let lu = Lu.factor m in
-  run ?recorder ~matvec:(Lu.solve lu) ~b:(Lu.solve lu b) ~k ()
+  if Obs.Health.active () then
+    Obs.Health.emit
+      (Obs.Health.Cond
+         { context = "arnoldi.shifted_resolvent"; dim = n; cond = Lu.condest lu });
+  run ?recorder ~context:"arnoldi.shifted" ~matvec:(Lu.solve lu)
+    ~b:(Lu.solve lu b) ~k ()

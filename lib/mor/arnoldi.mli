@@ -15,11 +15,17 @@ type result = {
     [breakdown = true]) instead of poisoning later columns. *)
 val run :
   ?recorder:Robust.Report.recorder ->
+  ?context:string ->
   matvec:(Vec.t -> Vec.t) ->
   b:Vec.t ->
   k:int ->
   unit ->
   result
+(** [context] names the Krylov loop in emitted {!Obs.Health.Arnoldi}
+    records (default ["arnoldi.run"]).  With an active sink, every
+    iteration reports the running orthogonality loss, the Hessenberg
+    subdiagonal magnitude, and the deflation margin; the subdiagonal
+    and margin also feed the ["arnoldi.*"] metric histograms. *)
 
 (** Basis of [K_k((s0 I − A)⁻¹, (s0 I − A)⁻¹ b)] — the moment-matching
     subspace of an LTI system about [s0]. *)

@@ -171,6 +171,11 @@ let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
   let dt = Obs.Clock.now () -. t_start in
   Obs.Metrics.set_gauge "reduced_order" (float_of_int (Mat.cols basis));
   Obs.Metrics.observe "reduction_seconds" dt;
+  (* A-posteriori accuracy check, only when someone is listening: did
+     the moment match actually hold at s0? (Timed after [dt] so the
+     diagnostic never inflates the reported reduction time.) *)
+  if Obs.Health.active () then
+    ignore (Romdiag.emit_health ~s0:s0_used ~full:q ~rom ());
   {
     basis;
     rom;

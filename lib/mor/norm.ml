@@ -162,6 +162,9 @@ let reduce ?s0 ?(tol = 1e-8) ~(orders : Atmor.orders) (q : Qldae.t) : result =
   let dt = Obs.Clock.now () -. t_start in
   Obs.Metrics.set_gauge "reduced_order" (float_of_int (Mat.cols basis));
   Obs.Metrics.observe "reduction_seconds" dt;
+  (* same a-posteriori moment-match check as Atmor.reduce *)
+  if Obs.Health.active () then
+    ignore (Romdiag.emit_health ~s0 ~full:q ~rom ());
   {
     Atmor.basis;
     rom;

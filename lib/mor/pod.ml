@@ -29,6 +29,20 @@ let pod_basis ?(energy = 0.99999999) ?(max_modes = 40) (snapshots : Vec.t list) 
     acc := !acc +. values.(!keep);
     incr keep
   done;
+  (* Record the spectrum decay instead of discarding it: captured
+     energy fraction and the depth of the first truncated eigenvalue
+     tell whether the snapshot set actually supported the truncation. *)
+  if Obs.Health.active () then begin
+    let energy_frac = if total > 0.0 then !acc /. total else 1.0 in
+    let tail =
+      if !keep < m && values.(0) > 0.0 then
+        Float.max 0.0 values.(!keep) /. values.(0)
+      else 0.0
+    in
+    Obs.Health.emit
+      (Obs.Health.Pod_spectrum
+         { retained = !keep; total = m; energy = energy_frac; tail })
+  end;
   let modes =
     List.init !keep (fun k ->
         let mode = Vec.create (Array.length snaps.(0)) in

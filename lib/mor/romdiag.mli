@@ -1,0 +1,56 @@
+(** A-posteriori ROM accuracy diagnostics.
+
+    Evaluates the associated transfer functions [H1]/[H2]/[H3] of the
+    full and reduced QLDAE at the expansion point (and [H1] at a few
+    points off the real axis) and reports relative output-space
+    residuals — the "did the moment match actually hold" check behind
+    the {!Obs.Health.Moment_residual} / {!Obs.Health.Freq_error}
+    telemetry.  Residuals aggregate over all inputs and outputs in the
+    Frobenius sense; [H3] uses diagonal input triples [(a,a,a)].
+
+    Everything here is diagnostic: numerical failures inside an
+    evaluator drop the affected entry ([None]) instead of raising. *)
+
+open Volterra
+
+type report = {
+  h1 : float option;
+  h2 : float option;  (** [None] when absent, skipped, or failed *)
+  h3 : float option;
+}
+
+val moment_residuals :
+  ?h2_dim_cap:int ->
+  ?h3_dim_cap:int ->
+  s0:float ->
+  full:Qldae.t ->
+  rom:Qldae.t ->
+  unit ->
+  report
+(** Relative residuals [‖H_k^full(s0) − H_k^rom(s0)‖/‖H_k^full(s0)‖].
+    [H2]/[H3] are skipped when the model has no matching couplings or
+    its dimension exceeds the cap (defaults 600/300) — a traced run
+    must not dwarf the reduction it is diagnosing. *)
+
+val freq_sweep :
+  ?omegas:float list ->
+  s0:float ->
+  full:Qldae.t ->
+  rom:Qldae.t ->
+  unit ->
+  (float * float) list
+(** Relative [H1] error at [s0 + iω] for each sample [ω]
+    (default [0.01, 0.1, 1, 10]); failed points are dropped. *)
+
+val emit_health :
+  ?h2_dim_cap:int ->
+  ?h3_dim_cap:int ->
+  ?omegas:float list ->
+  s0:float ->
+  full:Qldae.t ->
+  rom:Qldae.t ->
+  unit ->
+  report
+(** Compute {!moment_residuals} and {!freq_sweep} inside a
+    ["romdiag.health"] span and emit the corresponding health records.
+    Callers gate this behind {!Obs.Health.active}. *)

@@ -1,0 +1,440 @@
+(* Reading and analyzing JSONL traces.
+
+   The inverse of [Sink.jsonl]: parse a trace back into span/event
+   records, rebuild the span hierarchy (spans are emitted when they
+   close, so children precede parents and nesting is recovered from
+   the recorded depths), and render the three views the trace tooling
+   offers: a where-the-time-went tree, a numerical-health summary, and
+   a diff of two runs.  All renderers return strings; printing is the
+   caller's business. *)
+
+type record = Span of Sink.span_record | Event of Sink.event_record
+
+type item = Node of Sink.span_record * item list | Leaf of Sink.event_record
+
+type t = {
+  roots : item list;
+  spans : Sink.span_record list;  (* emission order *)
+  events : Sink.event_record list;  (* emission order *)
+}
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                           *)
+
+let record_of_json j : record =
+  match Json.(to_str (member_exn "type" j)) with
+  | "span" ->
+    let counters =
+      Json.(to_obj (member_exn "counters" j))
+      |> List.map (fun (k, v) -> (k, Json.to_int v))
+    in
+    Span
+      {
+        Sink.name = Json.(to_str (member_exn "name" j));
+        depth = Json.(to_int (member_exn "depth" j));
+        start = Json.(to_num (member_exn "start" j));
+        dur = Json.(to_num (member_exn "dur" j));
+        counters;
+      }
+  | "event" ->
+    Event
+      {
+        Sink.name = Json.(to_str (member_exn "name" j));
+        depth = Json.(to_int (member_exn "depth" j));
+        time = Json.(to_num (member_exn "time" j));
+        detail = Json.(to_str (member_exn "detail" j));
+      }
+  | other -> malformed "unknown record type %S" other
+
+let parse_line line =
+  match record_of_json (Json.parse line) with
+  | r -> r
+  | exception Json.Parse_error m -> malformed "%s in %S" m line
+
+(* Rebuild the hierarchy.  A span record at depth [d] closes after all
+   its children (spans and events recorded at depth [d+1]) have been
+   emitted, so a single pass with one pending-items bucket per depth
+   recovers the tree.  Items still pending at the end (a truncated
+   trace) are kept as extra roots rather than dropped. *)
+let build (records : record list) : item list =
+  let pending : (int, item list ref) Hashtbl.t = Hashtbl.create 8 in
+  let bucket d =
+    match Hashtbl.find_opt pending d with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add pending d r;
+      r
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Event e ->
+        let b = bucket e.Sink.depth in
+        b := Leaf e :: !b
+      | Span s ->
+        let kids =
+          match Hashtbl.find_opt pending (s.Sink.depth + 1) with
+          | Some r ->
+            let k = List.rev !r in
+            r := [];
+            k
+          | None -> []
+        in
+        let b = bucket s.Sink.depth in
+        b := Node (s, kids) :: !b)
+    records;
+  let roots =
+    match Hashtbl.find_opt pending 0 with
+    | Some r ->
+      let k = List.rev !r in
+      r := [];
+      k
+    | None -> []
+  in
+  let orphans =
+    Hashtbl.fold
+      (fun d r acc -> if !r <> [] then (d, List.rev !r) :: acc else acc)
+      pending []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.concat_map snd
+  in
+  roots @ orphans
+
+let of_records records =
+  {
+    roots = build records;
+    spans = List.filter_map (function Span s -> Some s | Event _ -> None) records;
+    events = List.filter_map (function Event e -> Some e | Span _ -> None) records;
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let records = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then records := parse_line line :: !records
+         done
+       with End_of_file -> ());
+      of_records (List.rev !records))
+
+(* ------------------------------------------------------------------ *)
+(* Where-the-time-went tree.                                          *)
+
+let format_counters counters =
+  counters
+  |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+  |> String.concat " "
+
+(* Point events inside a span are aggregated by name ([health.arnoldi]
+   fires once per Krylov iteration); recovery events are rare and
+   individually meaningful, so those keep their detail line. *)
+let render_tree ?(max_depth = max_int) t =
+  let b = Buffer.create 1024 in
+  let pad depth = String.make (2 * depth) ' ' in
+  let rec item depth it =
+    if depth <= max_depth then
+      match it with
+      | Node (s, kids) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%-*s %8.3fs  %s\n" (pad depth)
+             (max 1 (30 - (2 * depth)))
+             s.Sink.name s.Sink.dur
+             (format_counters s.Sink.counters));
+        let leaves, nodes =
+          List.partition (function Leaf _ -> true | Node _ -> false) kids
+        in
+        let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun it ->
+            match it with
+            | Leaf (e : Sink.event_record) ->
+              if e.Sink.name = "recovery" then
+                Buffer.add_string b
+                  (Printf.sprintf "%s! %s %s\n" (pad (depth + 1)) e.Sink.name
+                     e.Sink.detail)
+              else begin
+                if not (Hashtbl.mem counts e.Sink.name) then
+                  order := e.Sink.name :: !order;
+                Hashtbl.replace counts e.Sink.name
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.Sink.name))
+              end
+            | Node _ -> ())
+          leaves;
+        List.iter
+          (fun name ->
+            Buffer.add_string b
+              (Printf.sprintf "%s. %s x%d\n" (pad (depth + 1)) name
+                 (Hashtbl.find counts name)))
+          (List.rev !order);
+        List.iter (item (depth + 1)) nodes
+      | Leaf e ->
+        Buffer.add_string b
+          (Printf.sprintf "%s. %s %s\n" (pad depth) e.Sink.name e.Sink.detail)
+  in
+  List.iter (item 0) t.roots;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Numerical-health summary.                                          *)
+
+let health_records t : Health.record list =
+  List.filter_map
+    (fun (e : Sink.event_record) ->
+      Health.of_event ~name:e.Sink.name ~detail:e.Sink.detail)
+    t.events
+
+type health_summary = {
+  worst_ortho : (string * int * float) option;  (* context, iter, loss *)
+  min_margin : (string * int * float) option;  (* context, iter, margin *)
+  max_cond : (string * int * float) list;  (* per context: dim, cond *)
+  streaks : (string * float * int) list;  (* context, time, length *)
+  residuals : (int * float * float) list;  (* k, s0, residual — last per k *)
+  freq_worst : (float * float) option;  (* omega, rel_err *)
+  freq_samples : int;
+  pod : (int * int * float * float) option;  (* retained, total, energy, tail *)
+}
+
+let summarize t : health_summary =
+  let worst_ortho = ref None
+  and min_margin = ref None
+  and max_cond : (string, int * float) Hashtbl.t = Hashtbl.create 4
+  and streaks = ref []
+  and residuals : (int, float * float) Hashtbl.t = Hashtbl.create 4
+  and freq_worst = ref None
+  and freq_samples = ref 0
+  and pod = ref None in
+  List.iter
+    (fun (r : Health.record) ->
+      match r with
+      | Health.Arnoldi { context; iteration; ortho_loss; defl_margin; _ } ->
+        (match !worst_ortho with
+        | Some (_, _, best) when best >= ortho_loss -> ()
+        | _ -> worst_ortho := Some (context, iteration, ortho_loss));
+        (match !min_margin with
+        | Some (_, _, best) when best <= defl_margin -> ()
+        | _ -> min_margin := Some (context, iteration, defl_margin))
+      | Health.Cond { context; dim; cond } -> (
+        match Hashtbl.find_opt max_cond context with
+        | Some (_, c) when c >= cond -> ()
+        | _ -> Hashtbl.replace max_cond context (dim, cond))
+      | Health.Ode_streak { context; time; length } ->
+        streaks := (context, time, length) :: !streaks
+      | Health.Moment_residual { k; s0; residual } ->
+        Hashtbl.replace residuals k (s0, residual)
+      | Health.Freq_error { omega; rel_err } ->
+        incr freq_samples;
+        (match !freq_worst with
+        | Some (_, worst) when worst >= rel_err -> ()
+        | _ -> freq_worst := Some (omega, rel_err))
+      | Health.Pod_spectrum { retained; total; energy; tail } ->
+        pod := Some (retained, total, energy, tail))
+    (health_records t);
+  {
+    worst_ortho = !worst_ortho;
+    min_margin = !min_margin;
+    max_cond =
+      Hashtbl.fold (fun ctx (d, c) acc -> (ctx, d, c) :: acc) max_cond []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b);
+    streaks = List.rev !streaks;
+    residuals =
+      Hashtbl.fold (fun k (s0, r) acc -> (k, s0, r) :: acc) residuals []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b);
+    freq_worst = !freq_worst;
+    freq_samples = !freq_samples;
+    pod = !pod;
+  }
+
+let render_health t =
+  let s = summarize t in
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun m -> Buffer.add_string b (m ^ "\n")) fmt in
+  line "numerical health";
+  line "%s" (String.make 46 '-');
+  let any = ref false in
+  (match s.worst_ortho with
+  | Some (ctx, it, loss) ->
+    any := true;
+    line "  worst orthogonality loss  %.3g  (%s, iter %d)" loss ctx it
+  | None -> ());
+  (match s.min_margin with
+  | Some (ctx, it, margin) ->
+    any := true;
+    line "  min deflation margin      %.3g  (%s, iter %d)" margin ctx it
+  | None -> ());
+  List.iter
+    (fun (ctx, dim, cond) ->
+      any := true;
+      line "  cond estimate             %.3g  (%s, n=%d)" cond ctx dim)
+    s.max_cond;
+  let heavy = List.filter (fun (_, _, len) -> len >= 3) s.streaks in
+  if heavy <> [] then begin
+    any := true;
+    line "  rejection-heavy ODE windows (streak >= 3):";
+    List.iteri
+      (fun i (ctx, time, len) ->
+        if i < 5 then line "    %s: %d rejected near t=%.4g" ctx len time)
+      heavy;
+    if List.length heavy > 5 then
+      line "    ... and %d more" (List.length heavy - 5)
+  end;
+  if s.residuals <> [] then begin
+    any := true;
+    line "  moment-match residuals at s0:";
+    List.iter
+      (fun (k, s0, r) -> line "    H%d(s0=%.4g)  rel residual %.3g" k s0 r)
+      s.residuals
+  end;
+  (match s.freq_worst with
+  | Some (omega, err) ->
+    any := true;
+    line "  freq sweep (%d pts)        worst rel err %.3g at omega=%.4g"
+      s.freq_samples err omega
+  | None -> ());
+  (match s.pod with
+  | Some (retained, total, energy, tail) ->
+    any := true;
+    line "  POD spectrum              %d/%d modes, energy %.8g, tail %.3g"
+      retained total energy tail
+  | None -> ());
+  if not !any then line "  (no health events recorded)";
+  line "%s" (String.make 46 '-');
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Diffing two traces.                                                *)
+
+let span_totals t : (string * (int * float)) list =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Sink.span_record) ->
+      let n, d =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl s.Sink.name)
+      in
+      Hashtbl.replace tbl s.Sink.name (n + 1, d +. s.Sink.dur))
+    t.spans;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)
+
+(* Kernel counters summed over top-level spans only: span counters are
+   inclusive of children, so depth 0 gives whole-run totals without
+   double counting. *)
+let counter_totals t : (string * int) list =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Sink.span_record) ->
+      if s.Sink.depth = 0 then
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          s.Sink.counters)
+    t.spans;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pct_change ~old ~fresh =
+  if Float.abs old < 1e-300 then
+    if Float.abs fresh < 1e-300 then "=" else "new"
+  else Printf.sprintf "%+.1f%%" (100.0 *. ((fresh -. old) /. old))
+
+let render_diff old_t new_t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun m -> Buffer.add_string b (m ^ "\n")) fmt in
+  let old_spans = span_totals old_t and new_spans = span_totals new_t in
+  let names =
+    List.sort_uniq compare (List.map fst old_spans @ List.map fst new_spans)
+  in
+  line "%-30s %10s %10s %9s" "span (total)" "old s" "new s" "delta";
+  line "%s" (String.make 62 '-');
+  (* order by new total duration, descending; old-only names last *)
+  let key name =
+    match List.assoc_opt name new_spans with
+    | Some (_, d) -> -.d
+    | None -> Float.infinity
+  in
+  List.iter
+    (fun name ->
+      let fmt_tot = function
+        | Some (n, d) -> Printf.sprintf "%8.3f/%d" d n
+        | None -> "-"
+      in
+      let old_v = List.assoc_opt name old_spans
+      and new_v = List.assoc_opt name new_spans in
+      let delta =
+        match (old_v, new_v) with
+        | Some (_, od), Some (_, nd) -> pct_change ~old:od ~fresh:nd
+        | None, Some _ -> "new"
+        | Some _, None -> "gone"
+        | None, None -> "="
+      in
+      line "%-30s %10s %10s %9s" name (fmt_tot old_v) (fmt_tot new_v) delta)
+    (List.sort (fun a b -> compare (key a) (key b)) names);
+  let old_c = counter_totals old_t and new_c = counter_totals new_t in
+  let cnames = List.sort_uniq compare (List.map fst old_c @ List.map fst new_c) in
+  if cnames <> [] then begin
+    line "";
+    line "%-30s %10s %10s %9s" "counter" "old" "new" "delta";
+    line "%s" (String.make 62 '-');
+    List.iter
+      (fun name ->
+        let ov = Option.value ~default:0 (List.assoc_opt name old_c)
+        and nv = Option.value ~default:0 (List.assoc_opt name new_c) in
+        line "%-30s %10d %10d %9s" name ov nv
+          (pct_change ~old:(float_of_int ov) ~fresh:(float_of_int nv)))
+      cnames
+  end;
+  (* headline health, old vs new *)
+  let os = summarize old_t and ns = summarize new_t in
+  let health_rows =
+    [
+      ( "worst ortho loss",
+        Option.map (fun (_, _, v) -> v) os.worst_ortho,
+        Option.map (fun (_, _, v) -> v) ns.worst_ortho );
+      ( "max cond estimate",
+        (match os.max_cond with
+        | [] -> None
+        | l -> Some (List.fold_left (fun a (_, _, c) -> Float.max a c) 0.0 l)),
+        match ns.max_cond with
+        | [] -> None
+        | l -> Some (List.fold_left (fun a (_, _, c) -> Float.max a c) 0.0 l) );
+    ]
+    @ List.map
+        (fun k ->
+          let get s =
+            List.find_map
+              (fun (k', _, r) -> if k' = k then Some r else None)
+              s.residuals
+          in
+          (Printf.sprintf "H%d moment residual" k, get os, get ns))
+        [ 1; 2; 3 ]
+  in
+  let shown =
+    List.filter (fun (_, o, n) -> o <> None || n <> None) health_rows
+  in
+  if shown <> [] then begin
+    line "";
+    line "%-30s %10s %10s %9s" "health" "old" "new" "delta";
+    line "%s" (String.make 62 '-');
+    List.iter
+      (fun (name, o, n) ->
+        let fmt = function Some v -> Printf.sprintf "%10.3g" v | None -> "-" in
+        let delta =
+          match (o, n) with
+          | Some ov, Some nv -> pct_change ~old:ov ~fresh:nv
+          | None, Some _ -> "new"
+          | Some _, None -> "gone"
+          | None, None -> "="
+        in
+        line "%-30s %10s %10s %9s" name (fmt o) (fmt n) delta)
+      shown
+  end;
+  Buffer.contents b

@@ -1,0 +1,62 @@
+(** Reading and analyzing JSONL traces (the inverse of {!Sink.jsonl}).
+
+    Spans are emitted when they close, so a trace lists children
+    before their parents; {!of_records} rebuilds the hierarchy from
+    the recorded depths.  The renderers back both the [tools/trace_report]
+    executable and the [vmor report] subcommand, and return strings —
+    printing is the caller's business. *)
+
+type record = Span of Sink.span_record | Event of Sink.event_record
+
+type item = Node of Sink.span_record * item list | Leaf of Sink.event_record
+
+type t = {
+  roots : item list;  (** top-level items, in completion order *)
+  spans : Sink.span_record list;  (** all spans, emission order *)
+  events : Sink.event_record list;  (** all events, emission order *)
+}
+
+exception Malformed of string
+(** Raised on lines that are not valid trace records. *)
+
+val parse_line : string -> record
+val of_records : record list -> t
+
+val load : string -> t
+(** Parse a JSONL trace file.  Blank lines are skipped; items whose
+    enclosing span never closed (truncated trace) become extra roots. *)
+
+val render_tree : ?max_depth:int -> t -> string
+(** Where-the-time-went tree: per-span duration and kernel-counter
+    deltas, point events aggregated by name (recovery events are shown
+    individually with their detail). *)
+
+val health_records : t -> Health.record list
+(** Every decodable health event, in emission order. *)
+
+type health_summary = {
+  worst_ortho : (string * int * float) option;
+      (** context, iteration, worst orthogonality loss *)
+  min_margin : (string * int * float) option;
+      (** context, iteration, smallest deflation margin *)
+  max_cond : (string * int * float) list;
+      (** per context: dimension and largest condition estimate *)
+  streaks : (string * float * int) list;
+      (** ODE rejection streaks: context, model time, length *)
+  residuals : (int * float * float) list;
+      (** moment residuals: k, s0, relative residual (last per k) *)
+  freq_worst : (float * float) option;  (** omega, worst relative error *)
+  freq_samples : int;
+  pod : (int * int * float * float) option;
+      (** retained, total, energy, tail *)
+}
+
+val summarize : t -> health_summary
+
+val render_health : t -> string
+(** Human-readable numerical-health summary block. *)
+
+val render_diff : t -> t -> string
+(** Compare two traces: per-span-name total durations, whole-run
+    kernel counters (depth-0 spans), and headline health values, with
+    percentage deltas. *)

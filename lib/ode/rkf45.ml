@@ -82,6 +82,19 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
   (* Records at most one event per contiguous run of non-finite
      attempts, so a single recovered NaN shows as one halve-step. *)
   let nonfinite_streak = ref false in
+  (* Consecutive rejected attempts; a long streak marks a window where
+     the controller is fighting the dynamics (stiffness, a kink). *)
+  let reject_streak = ref 0 in
+  let close_streak () =
+    if !reject_streak > 0 then begin
+      Obs.Metrics.observe "rkf45.reject_streak" (float_of_int !reject_streak);
+      if !reject_streak >= 3 then
+        Obs.Health.emit
+          (Obs.Health.Ode_streak
+             { context = "rkf45"; time = !t; length = !reject_streak });
+      reject_streak := 0
+    end
+  in
   let fail detail =
     let err =
       Robust.Error.Step_failure { loc = step_loc; time = !t; detail }
@@ -108,13 +121,17 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
       let finite = Vec.is_finite x5 && Float.is_finite enorm in
       if finite && (enorm <= 1.0 || step_h <= hmin) then begin
         nonfinite_streak := false;
+        close_streak ();
         stats.steps <- stats.steps + 1;
         Obs.Metrics.incr Obs.Metrics.Ode_step;
+        Obs.Metrics.observe "rkf45.step_size" step_h;
+        Obs.Metrics.observe "rkf45.local_error" enorm;
         t := !t +. step_h;
         x := x5
       end
       else begin
         stats.rejected <- stats.rejected + 1;
+        incr reject_streak;
         Obs.Metrics.incr Obs.Metrics.Ode_rejected
       end;
       if not finite then begin
@@ -145,4 +162,5 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
     done;
     states.(i) <- Vec.copy !x
   done;
+  close_streak ();
   { Types.times; states; stats }

@@ -1,0 +1,270 @@
+(* Bench regression gate: compare a fresh bench/out/bench.json against
+   the checked-in bench/baseline.json and list tolerance violations.
+
+   The comparison layers match how the numbers fail in practice:
+   - wall times are noisy -> generous +-30% band with an absolute
+     floor (sub-quarter-second measurements are timer noise at reduced
+     scale), and skippable entirely (--ignore-wall) for the
+     deterministic runtest smoke;
+   - kernel counters and ROM orders are deterministic at fixed scale ->
+     exact, with a +-10% escape hatch for counts that legitimately
+     wobble with iteration-dependent control flow (Newton iterations,
+     step-size control);
+   - accuracy must never quietly regress -> max_rel_error may drift but
+     not beyond 2x the baseline.
+
+   This is a library so the test suite can drive the same logic on
+   hand-crafted JSON; tools/bench_gate/main.ml is the thin CLI around
+   it and `dune build @gate` wires it to a reduced-scale bench run. *)
+
+let wall_tolerance = 0.30
+(* Absolute slack under the relative wall band: reduced-scale runs
+   take a few seconds, and shared machines routinely jitter that much.
+   Wall checks exist to catch gross blowups (an accidental O(n^2)
+   inner loop, a hung solve); the deterministic counter comparison is
+   what pins down algorithmic regressions. *)
+let wall_floor = 2.0  (* seconds *)
+let counter_tolerance = 0.10
+let error_factor = 2.0
+
+type rom = {
+  method_name : string;
+  order : int;
+  raw_moments : int;
+  reduction_seconds : float;
+  max_rel_error : float;
+}
+
+type experiment = {
+  id : string;
+  title : string;
+  full_states : int;
+  wall_seconds : float;
+  counters : (string * int) list;
+  roms : rom list;
+}
+
+type bench = { scale : float; experiments : experiment list }
+
+exception Bad_bench of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_bench s)) fmt
+
+let parse (src : string) : bench =
+  let open Obs.Json in
+  let json = try parse src with Parse_error m -> bad "invalid JSON: %s" m in
+  try
+    let rom j =
+      {
+        method_name = to_str (member_exn "method" j);
+        order = to_int (member_exn "order" j);
+        raw_moments = to_int (member_exn "raw_moments" j);
+        reduction_seconds = to_num (member_exn "reduction_seconds" j);
+        max_rel_error = to_num (member_exn "max_rel_error" j);
+      }
+    in
+    let experiment j =
+      {
+        id = to_str (member_exn "id" j);
+        title = to_str (member_exn "title" j);
+        full_states = to_int (member_exn "full_states" j);
+        wall_seconds = to_num (member_exn "wall_seconds" j);
+        counters =
+          List.map
+            (fun (k, v) -> (k, to_int v))
+            (to_obj (member_exn "counters" j));
+        roms = List.map rom (to_arr (member_exn "roms" j));
+      }
+    in
+    {
+      scale = to_num (member_exn "scale" json);
+      experiments = List.map experiment (to_arr (member_exn "experiments" json));
+    }
+  with Parse_error m -> bad "bad bench schema: %s" m
+
+let load (path : string) : bench =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  try parse src with Bad_bench m -> bad "%s: %s" path m
+
+(* One violated tolerance; [where] locates it (experiment / ROM),
+   [allowed] restates the band that was broken. *)
+type violation = {
+  where : string;
+  metric : string;
+  baseline : string;
+  current : string;
+  allowed : string;
+}
+
+let rel_diff ~old_v ~new_v =
+  Float.abs (new_v -. old_v) /. Float.max (Float.abs old_v) 1e-12
+
+let check_wall ~where ~metric acc old_v new_v =
+  if rel_diff ~old_v ~new_v > wall_tolerance
+     && Float.abs (new_v -. old_v) > wall_floor
+  then
+    {
+      where;
+      metric;
+      baseline = Printf.sprintf "%.4fs" old_v;
+      current = Printf.sprintf "%.4fs" new_v;
+      allowed = Printf.sprintf "+-%.0f%%" (100.0 *. wall_tolerance);
+    }
+    :: acc
+  else acc
+
+(* exact-or-+-10%: integer quantities that are deterministic except for
+   iteration-count wobble *)
+let check_count ~where ~metric acc old_v new_v =
+  if old_v = new_v then acc
+  else if
+    float_of_int (abs (new_v - old_v)) /. Float.max (float_of_int (abs old_v)) 1.0
+    > counter_tolerance
+  then
+    {
+      where;
+      metric;
+      baseline = string_of_int old_v;
+      current = string_of_int new_v;
+      allowed = Printf.sprintf "exact or +-%.0f%%" (100.0 *. counter_tolerance);
+    }
+    :: acc
+  else acc
+
+let check_error ~where acc old_v new_v =
+  if new_v > (error_factor *. old_v) +. 1e-9 then
+    {
+      where;
+      metric = "max_rel_error";
+      baseline = Printf.sprintf "%.6f" old_v;
+      current = Printf.sprintf "%.6f" new_v;
+      allowed = Printf.sprintf "<= %gx baseline" error_factor;
+    }
+    :: acc
+  else acc
+
+let structural ~where ~metric ~baseline ~current acc =
+  { where; metric; baseline; current; allowed = "must match" } :: acc
+
+let check_rom ~ignore_wall ~where acc (old_r : rom) (new_r : rom) =
+  let acc =
+    if String.equal old_r.method_name new_r.method_name then acc
+    else
+      structural ~where ~metric:"method" ~baseline:old_r.method_name
+        ~current:new_r.method_name acc
+  in
+  let acc = check_count ~where ~metric:"order" acc old_r.order new_r.order in
+  let acc =
+    check_count ~where ~metric:"raw_moments" acc old_r.raw_moments
+      new_r.raw_moments
+  in
+  (* reduction_seconds stays informational: per-ROM timings at reduced
+     scale sit well under the noise floor, the experiment-level wall
+     band above already covers real slowdowns *)
+  ignore ignore_wall;
+  check_error ~where acc old_r.max_rel_error new_r.max_rel_error
+
+let check_experiment ~ignore_wall acc (old_e : experiment) (new_e : experiment) =
+  let where = old_e.id in
+  let acc =
+    if old_e.full_states = new_e.full_states then acc
+    else
+      structural ~where ~metric:"full_states"
+        ~baseline:(string_of_int old_e.full_states)
+        ~current:(string_of_int new_e.full_states)
+        acc
+  in
+  let acc =
+    if ignore_wall then acc
+    else check_wall ~where ~metric:"wall_seconds" acc old_e.wall_seconds
+        new_e.wall_seconds
+  in
+  (* union of counter names, missing treated as 0 — a counter that
+     disappears entirely (dead instrumentation) fails just like one
+     that jumps *)
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst old_e.counters @ List.map fst new_e.counters)
+  in
+  let get cs n = Option.value ~default:0 (List.assoc_opt n cs) in
+  let acc =
+    List.fold_left
+      (fun acc n ->
+        check_count ~where ~metric:("counter " ^ n) acc (get old_e.counters n)
+          (get new_e.counters n))
+      acc names
+  in
+  if List.length old_e.roms <> List.length new_e.roms then
+    structural ~where ~metric:"rom count"
+      ~baseline:(string_of_int (List.length old_e.roms))
+      ~current:(string_of_int (List.length new_e.roms))
+      acc
+  else
+    List.fold_left2
+      (fun acc (o : rom) n ->
+        let where = Printf.sprintf "%s/%s[q=%d]" where o.method_name o.order in
+        check_rom ~ignore_wall ~where acc o n)
+      acc old_e.roms new_e.roms
+
+let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
+    violation list =
+  let acc =
+    if rel_diff ~old_v:baseline.scale ~new_v:fresh.scale > 1e-9 then
+      structural ~where:"(run)" ~metric:"scale"
+        ~baseline:(Printf.sprintf "%g" baseline.scale)
+        ~current:(Printf.sprintf "%g" fresh.scale)
+        []
+    else []
+  in
+  let find b id = List.find_opt (fun e -> String.equal e.id id) b.experiments in
+  let acc =
+    List.fold_left
+      (fun acc (old_e : experiment) ->
+        match find fresh old_e.id with
+        | Some new_e -> check_experiment ~ignore_wall acc old_e new_e
+        | None ->
+          structural ~where:old_e.id ~metric:"experiment" ~baseline:"present"
+            ~current:"missing" acc)
+      acc baseline.experiments
+  in
+  let acc =
+    List.fold_left
+      (fun acc (new_e : experiment) ->
+        match find baseline new_e.id with
+        | Some _ -> acc
+        | None ->
+          structural ~where:new_e.id ~metric:"experiment"
+            ~baseline:"absent (refresh baseline)" ~current:"present" acc)
+      acc fresh.experiments
+  in
+  List.rev acc
+
+let render (violations : violation list) : string =
+  let b = Buffer.create 1024 in
+  (match violations with
+  | [] -> Buffer.add_string b "bench gate: OK\n"
+  | vs ->
+    Buffer.add_string b
+      (Printf.sprintf "bench gate: %d violation(s)\n" (List.length vs));
+    let rows =
+      ("where", "metric", "baseline", "current", "allowed")
+      :: List.map (fun v -> (v.where, v.metric, v.baseline, v.current, v.allowed)) vs
+    in
+    let w f = List.fold_left (fun m r -> max m (String.length (f r))) 0 rows in
+    let w1 = w (fun (a, _, _, _, _) -> a)
+    and w2 = w (fun (_, a, _, _, _) -> a)
+    and w3 = w (fun (_, _, a, _, _) -> a)
+    and w4 = w (fun (_, _, _, a, _) -> a) in
+    List.iteri
+      (fun i (a, m, ov, nv, al) ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-*s  %-*s  %*s  %*s  %s\n" w1 a w2 m w3 ov w4 nv al);
+        if i = 0 then
+          Buffer.add_string b
+            (Printf.sprintf "  %s\n"
+               (String.make (w1 + w2 + w3 + w4 + 6 + String.length al) '-')))
+      rows);
+  Buffer.contents b

@@ -1,0 +1,8 @@
+(* Fixture: the float-literal comparison a hand-rolled JSON number
+   decoder is tempted to write (zero / integrality tests on parsed
+   values). The bench-gate and trace-report readers must classify
+   through integer conversion or Float.equal instead. *)
+type json = Int of int | Num of float
+
+let classify f = if f = 0.0 then Int 0 else Num f
+let integral f = Float.equal (Float.of_int (Float.to_int f)) f

@@ -1,0 +1,40 @@
+(* Offline trace analysis: render the where-the-time-went tree, the
+   numerical-health summary, or a two-trace diff from JSONL traces
+   written by `vmor trace` / Obs.Sink.jsonl_file. Thin shell over
+   {!Obs.Trace}; `vmor report` is the same renderers behind cmdliner.
+
+     trace_report trace.jsonl [--max-depth N]
+     trace_report --diff old.jsonl new.jsonl *)
+
+let usage () =
+  prerr_string
+    "usage: trace_report TRACE.jsonl [--max-depth N]\n\
+    \       trace_report --diff OLD.jsonl NEW.jsonl\n";
+  exit 2
+
+let load path =
+  try Obs.Trace.load path with
+  | Obs.Trace.Malformed msg ->
+    Printf.eprintf "trace_report: %s: %s\n" path msg;
+    exit 1
+  | Sys_error msg ->
+    Printf.eprintf "trace_report: %s\n" msg;
+    exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--diff" :: old_path :: new_path :: [] ->
+    print_string (Obs.Trace.render_diff (load old_path) (load new_path))
+  | _ :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
+    let max_depth =
+      match rest with
+      | [] -> None
+      | [ "--max-depth"; n ] -> (
+        match int_of_string_opt n with Some d -> Some d | None -> usage ())
+      | _ -> usage ()
+    in
+    let t = load path in
+    print_string (Obs.Trace.render_tree ?max_depth t);
+    print_newline ();
+    print_string (Obs.Trace.render_health t)
+  | _ -> usage ()
