@@ -41,37 +41,30 @@ let time_best ~reps f =
 
 (* ---- bench.json: per-experiment wall time, kernel counts, orders ---- *)
 
-(* Each figure reproduction records its wall time plus the delta of
-   every Obs kernel counter across the run, so regressions in solver
-   call counts (not just time) show up in CI diffs of bench.json. *)
+(* Each figure reproduction records its wall time, the delta of every
+   Obs kernel counter, and the GC/allocation delta across the run, so
+   regressions in solver call counts and allocation volume (not just
+   time) show up in CI diffs of bench.json. *)
 let bench_records
-    : (string * float * (string * int) list * Experiments.Common.t) list ref =
+    : (string * float * (string * int) list * Obs.Prof.t * Experiments.Common.t)
+      list
+      ref =
   ref []
 
 let record_run id build =
   let snap = Obs.Metrics.snapshot () in
+  let gc0 = Obs.Prof.take () in
   let e, dt = Obs.Clock.time build in
+  let gc = Obs.Prof.since gc0 in
   let deltas =
     List.map
       (fun (c, n) -> (Obs.Metrics.name c, n))
       (Obs.Metrics.since snap)
   in
-  bench_records := (id, dt, deltas, e) :: !bench_records;
+  bench_records := (id, dt, deltas, gc, e) :: !bench_records;
   e
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Obs.Json.escape
 
 let write_bench_json ?json_path ~scale () =
   match List.rev !bench_records with
@@ -91,7 +84,7 @@ let write_bench_json ?json_path ~scale () =
     Buffer.add_string b "  \"experiments\": [\n";
     let n = List.length records in
     List.iteri
-      (fun i (id, dt, deltas, (e : Experiments.Common.t)) ->
+      (fun i (id, dt, deltas, (gc : Obs.Prof.t), (e : Experiments.Common.t)) ->
         Buffer.add_string b "    {\n";
         Buffer.add_string b
           (Printf.sprintf "      \"id\": \"%s\",\n" (json_escape id));
@@ -109,6 +102,11 @@ let write_bench_json ?json_path ~scale () =
               (Printf.sprintf "\"%s\": %d" (json_escape name) v))
           deltas;
         Buffer.add_string b "},\n";
+        Buffer.add_string b
+          (Printf.sprintf
+             "      \"gc\": {\"minor_words\": %s, \"major_words\": %s},\n"
+             (Obs.Json.float_string gc.Obs.Prof.minor_words)
+             (Obs.Json.float_string gc.Obs.Prof.major_words));
         Buffer.add_string b "      \"roms\": [";
         List.iteri
           (fun j (r : Experiments.Common.rom_run) ->

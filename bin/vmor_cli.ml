@@ -356,6 +356,11 @@ let trace_cmd =
       $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ out_arg
       $ const ())
 
+let load_trace path =
+  try Obs.Trace.load path with
+  | Obs.Trace.Malformed msg -> raise (Usage_error (path ^ ": " ^ msg))
+  | Sys_error msg -> raise (Usage_error msg)
+
 let report_cmd =
   let trace_file_arg =
     let doc = "JSONL trace file (written by $(b,vmor trace) or --trace)." in
@@ -369,33 +374,103 @@ let report_cmd =
     let doc = "Limit the time tree to spans at depth <= $(docv)." in
     Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"N" ~doc)
   in
-  let load path =
-    try Obs.Trace.load path with
-    | Obs.Trace.Malformed msg -> raise (Usage_error (path ^ ": " ^ msg))
-    | Sys_error msg -> raise (Usage_error msg)
+  let top_arg =
+    let doc = "Rows in the hot-kernels (exclusive time) table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
   in
-  let run trace_file diff max_depth () =
+  let run trace_file diff max_depth top () =
     setup_logs (Some Logs.Warning);
     match diff with
     | Some old_file ->
       (* --diff OLD NEW reads naturally left-to-right, so the
          positional argument is the new trace. *)
-      print_string (Obs.Trace.render_diff (load old_file) (load trace_file))
+      print_string
+        (Obs.Trace.render_diff (load_trace old_file) (load_trace trace_file))
     | None ->
-      let t = load trace_file in
+      let t = load_trace trace_file in
       print_string (Obs.Trace.render_tree ?max_depth t);
+      print_newline ();
+      print_string (Obs.Trace.render_hot ~top t);
       print_newline ();
       print_string (Obs.Trace.render_health t)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Analyze a JSONL trace: where-the-time-went tree and \
-          numerical-health summary, or a diff of two traces.")
+         "Analyze a JSONL trace: where-the-time-went tree, hot-kernels \
+          table, and numerical-health summary, or a diff of two traces.")
     Term.(
-      const (fun trace_file diff max_depth ->
-          guarded (run trace_file diff max_depth))
-      $ trace_file_arg $ diff_arg $ depth_arg $ const ())
+      const (fun trace_file diff max_depth top ->
+          guarded (run trace_file diff max_depth top))
+      $ trace_file_arg $ diff_arg $ depth_arg $ top_arg $ const ())
+
+let profile_cmd =
+  let trace_file_arg =
+    let doc = "JSONL trace file (written by $(b,vmor trace) or --trace)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE.jsonl" ~doc)
+  in
+  let chrome_arg =
+    let doc =
+      "Write a Chrome trace-event JSON file (load in Perfetto or \
+       chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"OUT.json" ~doc)
+  in
+  let folded_arg =
+    let doc =
+      "Write folded stacks (feed to flamegraph.pl or speedscope); counts \
+       are exclusive microseconds."
+    in
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"OUT.txt" ~doc)
+  in
+  let top_arg =
+    let doc = "Rows in the hot-kernels table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents)
+  in
+  let run trace_file chrome folded top () =
+    setup_logs (Some Logs.Warning);
+    let t = load_trace trace_file in
+    (match chrome with
+    | None -> ()
+    | Some out ->
+      write_file out (Obs.Trace.chrome_string t);
+      (* Re-read what was written and validate it structurally, so a
+         rendering bug fails the command instead of Perfetto. *)
+      let ic = open_in out in
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (try Obs.Trace.validate_chrome (Obs.Json.parse contents) with
+      | Obs.Json.Parse_error msg ->
+        raise (Usage_error (out ^ ": emitted invalid JSON: " ^ msg))
+      | Obs.Trace.Malformed msg ->
+        raise (Usage_error (out ^ ": emitted invalid chrome trace: " ^ msg)));
+      Printf.printf "chrome trace -> %s\n" out);
+    (match folded with
+    | None -> ()
+    | Some out ->
+      write_file out (Obs.Trace.to_folded t);
+      Printf.printf "folded stacks -> %s\n" out);
+    print_string (Obs.Trace.render_hot ~top t)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a JSONL trace: hot-kernels table (exclusive time and \
+          allocation), Chrome trace-event export, and folded stacks for \
+          flamegraphs.")
+    Term.(
+      const (fun trace_file chrome folded top ->
+          guarded (run trace_file chrome folded top))
+      $ trace_file_arg $ chrome_arg $ folded_arg $ top_arg $ const ())
 
 let autoselect_cmd =
   let run model scale trace metrics () =
@@ -491,6 +566,7 @@ let () =
             compare_cmd;
             trace_cmd;
             report_cmd;
+            profile_cmd;
             autoselect_cmd;
             distortion_cmd;
             all_cmd;

@@ -15,7 +15,8 @@ type t = { n : int; schur : Schur.t }
 
 let prepare (g : Mat.t) : t =
   Contract.require_square "Ksolve.prepare" (Mat.dims g);
-  { n = Mat.rows g; schur = Schur.decompose g }
+  Obs.Span.with_ ~name:"ksolve.prepare" (fun () ->
+      { n = Mat.rows g; schur = Schur.decompose g })
 
 let expected_len n k =
   let s = ref 1 in
@@ -234,18 +235,19 @@ let solve_shifted_gen ?mu t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
   Contract.require_len "Ksolve.solve_shifted" ~expected:(expected_len t.n k)
     ~actual:(Cvec.dim v);
   Obs.Metrics.incr Obs.Metrics.Shifted_solve;
-  let u = Schur.unitary t.schur and tt = Schur.triangular t.schur in
-  (* w = (U^H)⊗k v *)
-  let w = ref v in
-  for m = 0 to k - 1 do
-    w := mode_mul ~n:t.n ~k ~m ~adjoint:true u !w
-  done;
-  let y = tri_solve ?mu tt ~k ~sigma !w in
-  let x = ref y in
-  for m = 0 to k - 1 do
-    x := mode_mul ~n:t.n ~k ~m u !x
-  done;
-  !x
+  Obs.Span.with_ ~name:"ksolve.solve_shifted" (fun () ->
+      let u = Schur.unitary t.schur and tt = Schur.triangular t.schur in
+      (* w = (U^H)⊗k v *)
+      let w = ref v in
+      for m = 0 to k - 1 do
+        w := mode_mul ~n:t.n ~k ~m ~adjoint:true u !w
+      done;
+      let y = tri_solve ?mu tt ~k ~sigma !w in
+      let x = ref y in
+      for m = 0 to k - 1 do
+        x := mode_mul ~n:t.n ~k ~m u !x
+      done;
+      !x)
 
 let solve_shifted t ~k ~(sigma : Complex.t) (v : Cvec.t) : Cvec.t =
   solve_shifted_gen t ~k ~sigma v

@@ -12,35 +12,37 @@ type t = {
 let factor a =
   if not (Mat.is_square a) then invalid_arg "Lu.factor: matrix not square";
   Obs.Metrics.incr Obs.Metrics.Lu_factor;
-  let norm1 = Mat.norm1 a in
-  let n = Mat.rows a in
-  let lu = Mat.copy a in
-  let piv = Array.make n 0 in
-  let sign = ref 1.0 in
-  for k = 0 to n - 1 do
-    (* Partial pivot: largest magnitude in column k at or below the
-       diagonal. *)
-    let p = ref k in
-    for i = k + 1 to n - 1 do
-      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then p := i
-    done;
-    piv.(k) <- !p;
-    if !p <> k then begin
-      Mat.swap_rows lu k !p;
-      sign := -. !sign
-    end;
-    let pivot = Mat.get lu k k in
-    if Contract.is_zero pivot then raise (Singular k);
-    for i = k + 1 to n - 1 do
-      let lik = Mat.get lu i k /. pivot in
-      Mat.set lu i k lik;
-      if Contract.nonzero lik then
-        for j = k + 1 to n - 1 do
-          Mat.add_to lu i j (-.lik *. Mat.get lu k j)
+  Obs.Span.with_ ~name:"lu.factor" (fun () ->
+      let norm1 = Mat.norm1 a in
+      let n = Mat.rows a in
+      let lu = Mat.copy a in
+      let piv = Array.make n 0 in
+      let sign = ref 1.0 in
+      for k = 0 to n - 1 do
+        (* Partial pivot: largest magnitude in column k at or below the
+           diagonal. *)
+        let p = ref k in
+        for i = k + 1 to n - 1 do
+          if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !p k) then
+            p := i
+        done;
+        piv.(k) <- !p;
+        if !p <> k then begin
+          Mat.swap_rows lu k !p;
+          sign := -. !sign
+        end;
+        let pivot = Mat.get lu k k in
+        if Contract.is_zero pivot then raise (Singular k);
+        for i = k + 1 to n - 1 do
+          let lik = Mat.get lu i k /. pivot in
+          Mat.set lu i k lik;
+          if Contract.nonzero lik then
+            for j = k + 1 to n - 1 do
+              Mat.add_to lu i j (-.lik *. Mat.get lu k j)
+            done
         done
-    done
-  done;
-  { lu; piv; sign = !sign; norm1 }
+      done;
+      { lu; piv; sign = !sign; norm1 })
 
 let dim t = Mat.rows t.lu
 

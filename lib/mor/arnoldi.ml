@@ -17,6 +17,7 @@ let run ?recorder ?(context = "arnoldi.run") ~(matvec : Vec.t -> Vec.t)
   Contract.require "Arnoldi.run" (k >= 1) "dimension mismatch"
     (Printf.sprintf "k = %d must be >= 1" k);
   Contract.require_finite "Arnoldi.run: b" b;
+  Obs.Span.with_ ~name:"arnoldi.run" @@ fun () ->
   let n = Array.length b in
   let nb = Vec.norm2 b in
   if Contract.is_zero nb then invalid_arg "Arnoldi.run: zero start vector";

@@ -15,6 +15,7 @@ let pod_basis ?(energy = 0.99999999) ?(max_modes = 40) (snapshots : Vec.t list) 
   let snaps = Array.of_list snapshots in
   let m = Array.length snaps in
   if m = 0 then invalid_arg "Pod.pod_basis: no snapshots";
+  Obs.Span.with_ ~name:"pod.svd" @@ fun () ->
   let gram =
     Mat.init m m (fun i j -> Vec.dot snaps.(i) snaps.(j) /. float_of_int m)
   in

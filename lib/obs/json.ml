@@ -228,3 +228,70 @@ let to_arr = function
 let to_obj = function
   | Obj fields -> fields
   | v -> fail "expected object, found %s" (kind v)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.  The inverse of [parse], shared by the Chrome-trace
+   exporter and the prof.* span fields so every writer and the reader
+   agree on one float format.                                         *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest decimal form that parses back to the same float: integers
+   render without an exponent or trailing ".", everything else tries
+   15 significant digits before falling back to the always-exact 17.
+   JSON has no Inf/NaN tokens, so non-finite values render as null. *)
+let float_string f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let render v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> Buffer.add_string b (float_string f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          go x)
+        l;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          go x)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b

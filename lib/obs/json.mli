@@ -32,3 +32,15 @@ val to_int : t -> int
 val to_str : t -> string
 val to_arr : t -> t list
 val to_obj : t -> (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val float_string : float -> string
+(** Shortest decimal form that {!parse} reads back to the same float;
+    integers render without exponent or trailing [.]; non-finite
+    values render as [null] (JSON has no Inf/NaN tokens). *)
+
+val render : t -> string
+(** Compact one-line rendering; [parse (render v)] round-trips every
+    finite value. *)

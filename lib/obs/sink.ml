@@ -17,6 +17,7 @@ type span_record = {
   start : float;
   dur : float;
   counters : (string * int) list;
+  prof : Prof.t option;
 }
 
 type event_record = {
@@ -37,21 +38,7 @@ let null = { on_span = ignore; on_event = ignore; flush = ignore }
 (* ------------------------------------------------------------------ *)
 (* JSONL                                                              *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Json.escape
 
 let span_to_json (r : span_record) =
   let counters =
@@ -59,9 +46,20 @@ let span_to_json (r : span_record) =
     |> List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v)
     |> String.concat ","
   in
+  (* GC telemetry rides along as flat prof.* members, so readers that
+     predate prof capture keep parsing the record unchanged. *)
+  let prof =
+    match r.prof with
+    | None -> ""
+    | Some p ->
+      Prof.fields p
+      |> List.map (fun (k, v) ->
+             Printf.sprintf ",\"prof.%s\":%s" k (Json.float_string v))
+      |> String.concat ""
+  in
   Printf.sprintf
-    "{\"type\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start\":%.6f,\"dur\":%.6f,\"counters\":{%s}}"
-    (json_escape r.name) r.depth r.start r.dur counters
+    "{\"type\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start\":%.6f,\"dur\":%.6f,\"counters\":{%s}%s}"
+    (json_escape r.name) r.depth r.start r.dur counters prof
 
 let event_to_json (r : event_record) =
   Printf.sprintf

@@ -21,6 +21,10 @@ type span_record = {
   counters : (string * int) list;
       (** nonzero counter deltas accumulated inside the span,
           inclusive of child spans *)
+  prof : Prof.t option;
+      (** GC/allocation deltas over the span (inclusive of children),
+          rendered as flat [prof.*] JSON members; [None] when capture
+          is disabled *)
 }
 
 type event_record = {

@@ -2,8 +2,8 @@
 
    [with_ ~name f] is free (one sink load + pointer compare) when the
    null sink is active; otherwise it times [f], captures the counter
-   deltas accumulated inside it, and hands a span record to the sink
-   when [f] returns or raises. *)
+   and GC/allocation deltas accumulated inside it, and hands a span
+   record to the sink when [f] returns or raises. *)
 
 let depth = ref 0
 
@@ -13,16 +13,21 @@ let with_ ~name f =
   else begin
     let d = !depth in
     depth := d + 1;
+    let prof_on = Prof.is_enabled () in
+    let gc0 = if prof_on then Prof.take () else Prof.zero in
     let start = Clock.now () in
     let snap = Metrics.snapshot () in
     Fun.protect
       ~finally:(fun () ->
+        (* GC delta first: the counter-list allocations below would
+           otherwise be charged to the span being closed. *)
+        let prof = if prof_on then Some (Prof.since gc0) else None in
         let dur = Clock.now () -. start in
         let counters =
           List.map (fun (c, n) -> (Metrics.name c, n)) (Metrics.since snap)
         in
         depth := d;
-        s.Sink.on_span { Sink.name; depth = d; start; dur; counters })
+        s.Sink.on_span { Sink.name; depth = d; start; dur; counters; prof })
       f
   end
 

@@ -32,6 +32,19 @@ let record_of_json j : record =
       Json.(to_obj (member_exn "counters" j))
       |> List.map (fun (k, v) -> (k, Json.to_int v))
     in
+    (* GC telemetry rides as flat prof.* members; traces written before
+       prof capture existed simply have none, and Prof.of_fields maps
+       that to None. *)
+    let prof =
+      Json.to_obj j
+      |> List.filter_map (fun (k, v) ->
+             if String.length k > 5 && String.sub k 0 5 = "prof." then
+               match v with
+               | Json.Num f -> Some (String.sub k 5 (String.length k - 5), f)
+               | _ -> None
+             else None)
+      |> Prof.of_fields
+    in
     Span
       {
         Sink.name = Json.(to_str (member_exn "name" j));
@@ -39,6 +52,7 @@ let record_of_json j : record =
         start = Json.(to_num (member_exn "start" j));
         dur = Json.(to_num (member_exn "dur" j));
         counters;
+        prof;
       }
   | "event" ->
     Event
@@ -311,6 +325,254 @@ let render_health t =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* Exclusive-time and allocation attribution.
+
+   Span durations and GC deltas are inclusive of children; exclusive
+   cost is self minus the sum over direct child spans, clamped at zero
+   (clock skew between a parent and its children can make the raw
+   difference slightly negative).  Aggregated per span name across the
+   whole trace. *)
+
+type attrib = {
+  span : string;
+  calls : int;
+  incl_s : float;
+  excl_s : float;
+  incl_minor_words : float;
+  excl_minor_words : float;
+  incl_major_words : float;
+  excl_major_words : float;
+}
+
+let attribution t : attrib list =
+  let tbl : (string, attrib) Hashtbl.t = Hashtbl.create 16 in
+  let prof_minor (s : Sink.span_record) =
+    match s.Sink.prof with Some p -> p.Prof.minor_words | None -> 0.0
+  and prof_major (s : Sink.span_record) =
+    match s.Sink.prof with Some p -> p.Prof.major_words | None -> 0.0
+  in
+  let rec walk = function
+    | Leaf _ -> ()
+    | Node (s, kids) ->
+      let child_dur = ref 0.0 and child_minor = ref 0.0 and child_major = ref 0.0 in
+      List.iter
+        (function
+          | Node (c, _) ->
+            child_dur := !child_dur +. c.Sink.dur;
+            child_minor := !child_minor +. prof_minor c;
+            child_major := !child_major +. prof_major c
+          | Leaf _ -> ())
+        kids;
+      let excl v children = Float.max 0.0 (v -. children) in
+      let a =
+        match Hashtbl.find_opt tbl s.Sink.name with
+        | Some a -> a
+        | None ->
+          {
+            span = s.Sink.name;
+            calls = 0;
+            incl_s = 0.0;
+            excl_s = 0.0;
+            incl_minor_words = 0.0;
+            excl_minor_words = 0.0;
+            incl_major_words = 0.0;
+            excl_major_words = 0.0;
+          }
+      in
+      Hashtbl.replace tbl s.Sink.name
+        {
+          a with
+          calls = a.calls + 1;
+          incl_s = a.incl_s +. s.Sink.dur;
+          excl_s = a.excl_s +. excl s.Sink.dur !child_dur;
+          incl_minor_words = a.incl_minor_words +. prof_minor s;
+          excl_minor_words =
+            a.excl_minor_words +. excl (prof_minor s) !child_minor;
+          incl_major_words = a.incl_major_words +. prof_major s;
+          excl_major_words =
+            a.excl_major_words +. excl (prof_major s) !child_major;
+        };
+      List.iter walk kids
+  in
+  List.iter walk t.roots;
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun a b -> compare b.excl_s a.excl_s)
+
+let render_hot ?(top = 10) t =
+  let rows = attribution t in
+  let shown = List.filteri (fun i _ -> i < top) rows in
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun m -> Buffer.add_string b (m ^ "\n")) fmt in
+  line "hot kernels (exclusive time, top %d of %d)" (List.length shown)
+    (List.length rows);
+  line "%-28s %6s %10s %10s %12s %12s" "span" "calls" "excl s" "incl s"
+    "excl minor w" "excl major w";
+  line "%s" (String.make 84 '-');
+  List.iter
+    (fun a ->
+      line "%-28s %6d %10.4f %10.4f %12.3g %12.3g" a.span a.calls a.excl_s
+        a.incl_s a.excl_minor_words a.excl_major_words)
+    shown;
+  if rows = [] then line "  (no spans recorded)";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export (chrome://tracing, Perfetto).
+
+   Spans become "X" (complete) events with microsecond timestamps
+   normalized to the earliest record; point events become instant
+   events ("i", thread-scoped).  Everything runs on pid 1 / tid 1 —
+   the tracer is single-threaded and nesting is reconstructed by the
+   viewer from ts/dur containment. *)
+
+let chrome_ts t0 time = (time -. t0) *. 1e6
+
+let to_chrome t : Json.t =
+  let t0 =
+    List.fold_left
+      (fun acc (s : Sink.span_record) -> Float.min acc s.Sink.start)
+      (List.fold_left
+         (fun acc (e : Sink.event_record) -> Float.min acc e.Sink.time)
+         Float.infinity t.events)
+      t.spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let span_event (s : Sink.span_record) =
+    let args =
+      (("depth", Json.Num (float_of_int s.Sink.depth))
+      :: List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.Sink.counters)
+      @
+      match s.Sink.prof with
+      | None -> []
+      | Some p ->
+        List.map (fun (k, v) -> ("prof." ^ k, Json.Num v)) (Prof.fields p)
+    in
+    Json.Obj
+      [
+        ("name", Json.Str s.Sink.name);
+        ("cat", Json.Str "span");
+        ("ph", Json.Str "X");
+        ("ts", Json.Num (chrome_ts t0 s.Sink.start));
+        ("dur", Json.Num (s.Sink.dur *. 1e6));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("args", Json.Obj args);
+      ]
+  in
+  let point_event (e : Sink.event_record) =
+    Json.Obj
+      [
+        ("name", Json.Str e.Sink.name);
+        ("cat", Json.Str "event");
+        ("ph", Json.Str "i");
+        ("ts", Json.Num (chrome_ts t0 e.Sink.time));
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num 1.0);
+        ("s", Json.Str "t");
+        ( "args",
+          Json.Obj
+            [
+              ("depth", Json.Num (float_of_int e.Sink.depth));
+              ("detail", Json.Str e.Sink.detail);
+            ] );
+      ]
+  in
+  let ts = function
+    | Json.Obj fields -> (
+      match List.assoc_opt "ts" fields with Some (Json.Num f) -> f | _ -> 0.0)
+    | _ -> 0.0
+  in
+  let events =
+    List.map span_event t.spans @ List.map point_event t.events
+    |> List.stable_sort (fun a b -> compare (ts a) (ts b))
+  in
+  Json.Obj
+    [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ]
+
+let chrome_string t = Json.render (to_chrome t)
+
+let validate_chrome (j : Json.t) =
+  let check = function
+    | Json.Obj fields as ev ->
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Json.Str s) -> s
+        | Some v -> malformed "event %S: %S is %s, not a string" (Json.render ev) k (Json.kind v)
+        | None -> malformed "event %S: missing %S" (Json.render ev) k
+      in
+      let num k =
+        match List.assoc_opt k fields with
+        | Some (Json.Num f) -> f
+        | Some v -> malformed "event %S: %S is %s, not a number" (Json.render ev) k (Json.kind v)
+        | None -> malformed "event %S: missing %S" (Json.render ev) k
+      in
+      let _ = str "name" and ph = str "ph" in
+      let ts = num "ts" and _ = num "pid" and _ = num "tid" in
+      if not (Float.is_finite ts) then malformed "non-finite ts";
+      if ph = "X" then begin
+        let dur = num "dur" in
+        if not (Float.is_finite dur && dur >= 0.0) then
+          malformed "ph=X event with invalid dur"
+      end
+    | v -> malformed "trace event is %s, not an object" (Json.kind v)
+  in
+  match j with
+  | Json.Obj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Json.Arr []) -> malformed "empty traceEvents"
+    | Some (Json.Arr evs) -> List.iter check evs
+    | Some v -> malformed "traceEvents is %s, not an array" (Json.kind v)
+    | None -> malformed "missing traceEvents")
+  | v -> malformed "chrome trace is %s, not an object" (Json.kind v)
+
+(* ------------------------------------------------------------------ *)
+(* Folded-stack export (flamegraph.pl, speedscope).
+
+   One line per unique call stack, "root;child;leaf count", where the
+   count is the stack's exclusive time in integer microseconds.
+   Exclusive values are computed from the *rounded* inclusive values,
+   so the counts sum exactly to the total root inclusive time whenever
+   children nest within their parents. *)
+
+let folded_name name =
+  String.map (function ' ' -> '_' | ';' -> ':' | c -> c) name
+
+let to_folded t =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let micros dur = int_of_float (Float.round (dur *. 1e6)) in
+  let rec walk prefix = function
+    | Leaf _ -> ()
+    | Node (s, kids) ->
+      let stack =
+        if prefix = "" then folded_name s.Sink.name
+        else prefix ^ ";" ^ folded_name s.Sink.name
+      in
+      let child_us =
+        List.fold_left
+          (fun acc -> function
+            | Node (c, _) -> acc + micros c.Sink.dur
+            | Leaf _ -> acc)
+          0 kids
+      in
+      let excl = max 0 (micros s.Sink.dur - child_us) in
+      if excl > 0 then begin
+        if not (Hashtbl.mem tbl stack) then order := stack :: !order;
+        Hashtbl.replace tbl stack
+          (excl + Option.value ~default:0 (Hashtbl.find_opt tbl stack))
+      end;
+      List.iter (walk stack) kids
+  in
+  List.iter (walk "") t.roots;
+  let b = Buffer.create 512 in
+  List.iter
+    (fun stack ->
+      Buffer.add_string b
+        (Printf.sprintf "%s %d\n" stack (Hashtbl.find tbl stack)))
+    (List.rev !order);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* Diffing two traces.                                                *)
 
 let span_totals t : (string * (int * float)) list =
@@ -341,9 +603,14 @@ let counter_totals t : (string * int) list =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Percent delta with a guarded denominator: a zero (or non-finite)
+   old value has no meaningful relative change, so render "n/a" rather
+   than inf/nan — except 0 -> 0, which really is "=".  "new"/"gone"
+   are reserved for entries missing from one side entirely. *)
 let pct_change ~old ~fresh =
-  if Float.abs old < 1e-300 then
-    if Float.abs fresh < 1e-300 then "=" else "new"
+  if not (Float.is_finite old && Float.is_finite fresh) then "n/a"
+  else if Float.abs old < 1e-300 then
+    if Float.abs fresh < 1e-300 then "=" else "n/a"
   else Printf.sprintf "%+.1f%%" (100.0 *. ((fresh -. old) /. old))
 
 let render_diff old_t new_t =

@@ -31,6 +31,49 @@ val render_tree : ?max_depth:int -> t -> string
     deltas, point events aggregated by name (recovery events are shown
     individually with their detail). *)
 
+type attrib = {
+  span : string;  (** span name *)
+  calls : int;  (** occurrences across the trace *)
+  incl_s : float;  (** total inclusive seconds *)
+  excl_s : float;  (** total exclusive seconds (self minus children) *)
+  incl_minor_words : float;
+  excl_minor_words : float;
+  incl_major_words : float;
+  excl_major_words : float;
+}
+
+val attribution : t -> attrib list
+(** Per-span-name inclusive and exclusive time/allocation totals,
+    sorted by exclusive time descending.  Exclusive cost is the span's
+    own value minus the sum over its direct child spans, clamped at
+    zero; allocation columns are zero for traces recorded without
+    {!Prof} capture. *)
+
+val render_hot : ?top:int -> t -> string
+(** "Hot kernels" table over {!attribution}, showing the [top]
+    (default 10) spans by exclusive time. *)
+
+val to_chrome : t -> Json.t
+(** Chrome trace-event JSON (chrome://tracing, Perfetto): spans as
+    ["X"] complete events with microsecond [ts]/[dur] normalized to
+    the earliest record, point events as instant events, counters and
+    [prof.*] telemetry in [args]. *)
+
+val chrome_string : t -> string
+(** [Json.render (to_chrome t)]. *)
+
+val validate_chrome : Json.t -> unit
+(** Structural check of a Chrome trace-event value: non-empty
+    [traceEvents], each with [name]/[ph]/[ts]/[pid]/[tid] and a
+    finite non-negative [dur] on ["X"] events.  Raises {!Malformed}. *)
+
+val to_folded : t -> string
+(** Folded-stack rendering (flamegraph.pl, speedscope): one
+    ["root;child;leaf count"] line per unique call stack, counts in
+    exclusive integer microseconds.  Counts sum exactly to the total
+    root inclusive time whenever children nest within their parents;
+    names are sanitized (spaces to [_], [;] to [:]). *)
+
 val health_records : t -> Health.record list
 (** Every decodable health event, in emission order. *)
 

@@ -18,6 +18,7 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
     ~samples () : Types.solution =
   if Array.length x0 <> sys.dim then invalid_arg "Imtrap.integrate: x0 dim";
   if h <= 0.0 then invalid_arg "Imtrap.integrate: h must be positive";
+  Obs.Span.with_ ~name:"imtrap.integrate" @@ fun () ->
   let jac =
     match sys.Types.jac with
     | Some j -> j

@@ -70,6 +70,7 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
     ?(atol = default_atol) ?h0 ?hmax ?(max_steps = max_int) ?recorder ~samples
     () : Types.solution =
   if Array.length x0 <> sys.dim then invalid_arg "Rkf45.integrate: x0 dimension";
+  Obs.Span.with_ ~name:"rkf45.integrate" @@ fun () ->
   let stats = Types.new_stats () in
   let span = t1 -. t0 in
   let hmax = Option.value hmax ~default:(span /. 10.0) in

@@ -165,6 +165,7 @@ let test_jsonl_rendering () =
       start = 1.5;
       dur = 0.25;
       counters = [ ("lu_factor", 1); ("matvec", 42) ];
+      prof = None;
     }
   in
   Alcotest.(check string)

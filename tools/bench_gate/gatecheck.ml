@@ -27,6 +27,12 @@ let wall_floor = 2.0  (* seconds *)
 let counter_tolerance = 0.10
 let error_factor = 2.0
 
+(* GC word counts are deterministic-ish at fixed scale but move with
+   allocator batching and minor-heap sizing across runtimes, so the
+   band is wider than the counter one.  An allocation regression worth
+   flagging (a copy in a hot loop) blows well past 25%. *)
+let gc_tolerance = 0.25
+
 type rom = {
   method_name : string;
   order : int;
@@ -41,6 +47,7 @@ type experiment = {
   full_states : int;
   wall_seconds : float;
   counters : (string * int) list;
+  gc : (float * float) option;  (* minor_words, major_words *)
   roms : rom list;
 }
 
@@ -73,6 +80,13 @@ let parse (src : string) : bench =
           List.map
             (fun (k, v) -> (k, to_int v))
             (to_obj (member_exn "counters" j));
+        gc =
+          (match member "gc" j with
+          | Some g ->
+            Some
+              ( to_num (member_exn "minor_words" g),
+                to_num (member_exn "major_words" g) )
+          | None -> None);
         roms = List.map rom (to_arr (member_exn "roms" j));
       }
     in
@@ -130,6 +144,23 @@ let check_count ~where ~metric acc old_v new_v =
       baseline = string_of_int old_v;
       current = string_of_int new_v;
       allowed = Printf.sprintf "exact or +-%.0f%%" (100.0 *. counter_tolerance);
+    }
+    :: acc
+  else acc
+
+(* exact-or-+-25%: GC word counts, see [gc_tolerance] *)
+let check_gc_words ~where ~metric acc old_v new_v =
+  if old_v = new_v then acc
+  else if
+    Float.abs (new_v -. old_v) /. Float.max (Float.abs old_v) 1.0
+    > gc_tolerance
+  then
+    {
+      where;
+      metric;
+      baseline = Printf.sprintf "%.0f" old_v;
+      current = Printf.sprintf "%.0f" new_v;
+      allowed = Printf.sprintf "exact or +-%.0f%%" (100.0 *. gc_tolerance);
     }
     :: acc
   else acc
@@ -196,6 +227,21 @@ let check_experiment ~ignore_wall acc (old_e : experiment) (new_e : experiment) 
         check_count ~where ~metric:("counter " ^ n) acc (get old_e.counters n)
           (get new_e.counters n))
       acc names
+  in
+  (* GC telemetry is structural first (a gc block that disappears means
+     the bench stopped recording it), banded second *)
+  let acc =
+    match (old_e.gc, new_e.gc) with
+    | None, None -> acc
+    | Some _, None -> structural ~where ~metric:"gc" ~baseline:"present" ~current:"missing" acc
+    | None, Some _ ->
+      structural ~where ~metric:"gc" ~baseline:"absent (refresh baseline)"
+        ~current:"present" acc
+    | Some (o_minor, o_major), Some (n_minor, n_major) ->
+      let acc =
+        check_gc_words ~where ~metric:"gc minor_words" acc o_minor n_minor
+      in
+      check_gc_words ~where ~metric:"gc major_words" acc o_major n_major
   in
   if List.length old_e.roms <> List.length new_e.roms then
     structural ~where ~metric:"rom count"

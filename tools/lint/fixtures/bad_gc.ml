@@ -1,0 +1,6 @@
+(* Fixture: raw GC introspection outside lib/obs. *)
+let words () = (Gc.quick_stat ()).Gc.minor_words
+let full () = (Gc.stat ()).Gc.live_words
+let tuple () = Gc.counters ()
+let pointer () = Gc.minor_words ()
+let fine () = Gc.compact ()

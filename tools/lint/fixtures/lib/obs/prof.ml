@@ -1,0 +1,3 @@
+(* Fixture: lib/obs is the one place allowed to read the GC counters. *)
+let minor () = Gc.minor_words ()
+let promoted () = (Gc.stat ()).Gc.promoted_words

@@ -1,0 +1,2 @@
+val minor : unit -> float
+val promoted : unit -> float

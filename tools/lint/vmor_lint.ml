@@ -23,6 +23,11 @@
      raw-clock         Unix.gettimeofday / Sys.time outside lib/obs —
                        Obs.Clock is the sole wall-clock access, so every
                        timing path is span-instrumentable
+     raw-gc            Gc.stat / Gc.quick_stat / Gc.counters /
+                       Gc.minor_words outside
+                       lib/obs — Obs.Prof is the sole GC introspection
+                       point, so allocation telemetry stays on the
+                       span/bench path
      parse-error       file does not parse (never allowlisted)
 
    Output is machine readable, one violation per line:
@@ -36,7 +41,7 @@
 
 let rules =
   [ "float-eq"; "obj-magic"; "lib-printf"; "raw-matrix-alloc"; "mli-pair";
-    "dim-guard"; "no-bare-failwith"; "raw-clock"; "parse-error" ]
+    "dim-guard"; "no-bare-failwith"; "raw-clock"; "raw-gc"; "parse-error" ]
 
 type violation = { file : string; line : int; rule : string; msg : string }
 
@@ -163,6 +168,13 @@ let check_expression path (e : expression) =
        report path line "raw-clock"
          "raw wall-clock access outside lib/obs; route timing through \
           Obs.Clock so it is span-instrumentable"
+   | Some
+       ( [ "Gc"; ("stat" | "quick_stat" | "counters" | "minor_words") ]
+       | [ "Stdlib"; "Gc"; ("stat" | "quick_stat" | "counters" | "minor_words") ] )
+     when not (in_lib_obs path) ->
+       report path line "raw-gc"
+         "raw GC introspection outside lib/obs; route allocation telemetry \
+          through Obs.Prof so it rides the span/bench path"
    | Some name when in_lib path && List.mem name stdout_printers ->
        report path line "lib-printf"
          (Printf.sprintf "%s in library code; return strings or use Format \

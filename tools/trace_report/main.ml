@@ -1,14 +1,17 @@
 (* Offline trace analysis: render the where-the-time-went tree, the
-   numerical-health summary, or a two-trace diff from JSONL traces
-   written by `vmor trace` / Obs.Sink.jsonl_file. Thin shell over
-   {!Obs.Trace}; `vmor report` is the same renderers behind cmdliner.
+   hot-kernels table, the numerical-health summary, profile exports, or
+   a two-trace diff from JSONL traces written by `vmor trace` /
+   Obs.Sink.jsonl_file. Thin shell over {!Obs.Trace}; `vmor report` and
+   `vmor profile` are the same renderers behind cmdliner.
 
-     trace_report trace.jsonl [--max-depth N]
+     trace_report trace.jsonl [--max-depth N] [--top N]
+                  [--chrome OUT.json] [--folded OUT.txt]
      trace_report --diff old.jsonl new.jsonl *)
 
 let usage () =
   prerr_string
-    "usage: trace_report TRACE.jsonl [--max-depth N]\n\
+    "usage: trace_report TRACE.jsonl [--max-depth N] [--top N]\n\
+    \                    [--chrome OUT.json] [--folded OUT.txt]\n\
     \       trace_report --diff OLD.jsonl NEW.jsonl\n";
   exit 2
 
@@ -21,20 +24,53 @@ let load path =
     Printf.eprintf "trace_report: %s\n" msg;
     exit 1
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--diff" :: old_path :: new_path :: [] ->
     print_string (Obs.Trace.render_diff (load old_path) (load new_path))
   | _ :: path :: rest when String.length path > 0 && path.[0] <> '-' ->
-    let max_depth =
-      match rest with
-      | [] -> None
-      | [ "--max-depth"; n ] -> (
-        match int_of_string_opt n with Some d -> Some d | None -> usage ())
+    let max_depth = ref None
+    and top = ref 10
+    and chrome = ref None
+    and folded = ref None in
+    let int_opt n = match int_of_string_opt n with Some d -> d | None -> usage () in
+    let rec flags = function
+      | [] -> ()
+      | "--max-depth" :: n :: rest ->
+        max_depth := Some (int_opt n);
+        flags rest
+      | "--top" :: n :: rest ->
+        top := int_opt n;
+        flags rest
+      | "--chrome" :: out :: rest ->
+        chrome := Some out;
+        flags rest
+      | "--folded" :: out :: rest ->
+        folded := Some out;
+        flags rest
       | _ -> usage ()
     in
+    flags rest;
     let t = load path in
-    print_string (Obs.Trace.render_tree ?max_depth t);
+    (match !chrome with
+    | None -> ()
+    | Some out ->
+      write_file out (Obs.Trace.chrome_string t);
+      Printf.eprintf "trace_report: chrome trace -> %s\n" out);
+    (match !folded with
+    | None -> ()
+    | Some out ->
+      write_file out (Obs.Trace.to_folded t);
+      Printf.eprintf "trace_report: folded stacks -> %s\n" out);
+    print_string (Obs.Trace.render_tree ?max_depth:!max_depth t);
+    print_newline ();
+    print_string (Obs.Trace.render_hot ~top:!top t);
     print_newline ();
     print_string (Obs.Trace.render_health t)
   | _ -> usage ()
