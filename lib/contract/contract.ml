@@ -26,9 +26,11 @@
 
 (* ---- VMOR_CHECKS toggle ---- *)
 
-let override : bool option ref = ref None
+(* Atomic so tests may flip checks on a domain while kernels race on
+   another; a plain ref would be an unsynchronized shared write. *)
+let override : bool option Atomic.t = Atomic.make None
 
-let set_checks b = override := b
+let set_checks b = Atomic.set override b
 
 let env_enabled () =
   match Sys.getenv_opt "VMOR_CHECKS" with
@@ -36,7 +38,7 @@ let env_enabled () =
   | Some _ | None -> false
 
 let checks_enabled () =
-  match !override with Some b -> b | None -> env_enabled ()
+  match Atomic.get override with Some b -> b | None -> env_enabled ()
 
 (* ---- blessed exact float comparisons ---- *)
 

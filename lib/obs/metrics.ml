@@ -1,11 +1,18 @@
 (* Process-wide kernel counters, gauges and histograms.
 
-   Counters are the hot primitive: a fixed enum indexing a flat int
-   array, so an increment is one bounds-checked store guarded by one
-   boolean load.  [set_enabled false] turns every increment into a
-   no-op, which gives the overhead benchmark a genuine uninstrumented
-   baseline.  Gauges and histograms are string-keyed and only touched
-   on cold paths (end of a reduction, end of a simulation). *)
+   Counters are the hot primitive: each domain accumulates into its own
+   flat int array held in a [Domain.DLS] slot, so an increment is one
+   atomic-flag load, one DLS fetch and one bounds-checked store — no
+   lock, no contention, no false sharing between domains.  Readers
+   merge every registered per-domain array under [mu]; after
+   [Domain.join] the merge is exact because the child's publishes
+   happen-before the join.
+
+   [set_enabled false] turns every recording operation into a no-op,
+   which gives the overhead benchmark a genuine uninstrumented
+   baseline.  Gauges and histograms are string-keyed, only touched on
+   cold paths (end of a reduction, end of a simulation), and guarded
+   by the same mutex. *)
 
 type counter =
   | Lu_factor
@@ -53,24 +60,57 @@ let all =
     Deflation_discard; Ode_step; Ode_rejected; Newton_iter;
     Ladder_attempt; Recovery_event ]
 
-let counts = Array.make n_counters 0
-let enabled = ref true
+let mu = Mutex.create ()
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+(* Every per-domain counter array ever handed out.  Arrays outlive
+   their domain so joined children keep contributing to the merge. *)
+let domains : int array list ref = ref [] [@@vmor.sync "guarded by mu"]
 
-let incr ?(by = 1) c = if !enabled then counts.(index c) <- counts.(index c) + by
-let get c = counts.(index c)
+let slot =
+  Domain.DLS.new_key (fun () ->
+      let a = Array.make n_counters 0 in
+      Mutex.protect mu (fun () -> domains := a :: !domains);
+      a)
+
+let enabled = Atomic.make true
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let incr ?(by = 1) c =
+  if Atomic.get enabled then begin
+    let a = Domain.DLS.get slot in
+    let i = index c in
+    a.(i) <- a.(i) + by
+  end
+
+(* Merge-on-read: sum every registered domain's array under the lock. *)
+let merged () =
+  Mutex.protect mu (fun () ->
+      let out = Array.make n_counters 0 in
+      List.iter
+        (fun a ->
+          for i = 0 to n_counters - 1 do
+            out.(i) <- out.(i) + a.(i)
+          done)
+        !domains;
+      out)
+
+let get c = (merged ()).(index c)
 
 (* ------------------------------------------------------------------ *)
 (* Gauges: last-write-wins named floats.                              *)
 
-let gauge_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+let gauge_tbl : (string, float) Hashtbl.t =
+  Hashtbl.create 16 [@@vmor.sync "guarded by mu"]
 
-let set_gauge k v = if !enabled then Hashtbl.replace gauge_tbl k v
+let set_gauge k v =
+  if Atomic.get enabled then
+    Mutex.protect mu (fun () -> Hashtbl.replace gauge_tbl k v)
 
 let gauges () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_tbl []
+  Mutex.protect mu (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -78,21 +118,24 @@ let gauges () =
 
 type hstat = { count : int; sum : float; minv : float; maxv : float }
 
-let hist_tbl : (string, hstat) Hashtbl.t = Hashtbl.create 16
+let hist_tbl : (string, hstat) Hashtbl.t =
+  Hashtbl.create 16 [@@vmor.sync "guarded by mu"]
 
 let observe k v =
-  if !enabled then
-    let h =
-      match Hashtbl.find_opt hist_tbl k with
-      | None -> { count = 1; sum = v; minv = v; maxv = v }
-      | Some h ->
-        { count = h.count + 1; sum = h.sum +. v;
-          minv = min h.minv v; maxv = max h.maxv v }
-    in
-    Hashtbl.replace hist_tbl k h
+  if Atomic.get enabled then
+    Mutex.protect mu (fun () ->
+        let h =
+          match Hashtbl.find_opt hist_tbl k with
+          | None -> { count = 1; sum = v; minv = v; maxv = v }
+          | Some h ->
+            { count = h.count + 1; sum = h.sum +. v;
+              minv = min h.minv v; maxv = max h.maxv v }
+        in
+        Hashtbl.replace hist_tbl k h)
 
 let histograms () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist_tbl []
+  Mutex.protect mu (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist_tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -100,28 +143,33 @@ let histograms () =
 
 type snapshot = int array
 
-let snapshot () = Array.copy counts
+let snapshot () = merged ()
 
 let since (snap : snapshot) =
+  let now = merged () in
   List.filter_map
     (fun c ->
-      let d = counts.(index c) - snap.(index c) in
+      let d = now.(index c) - snap.(index c) in
       if d = 0 then None else Some (c, d))
     all
 
 let reset () =
-  Array.fill counts 0 n_counters 0;
-  Hashtbl.reset gauge_tbl;
-  Hashtbl.reset hist_tbl
+  Mutex.protect mu (fun () ->
+      List.iter (fun a -> Array.fill a 0 n_counters 0) !domains;
+      Hashtbl.reset gauge_tbl;
+      Hashtbl.reset hist_tbl)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering.                                                         *)
 
 let to_csv_string () =
+  let now = merged () in
   let b = Buffer.create 512 in
   Buffer.add_string b "kind,name,value\n";
   List.iter
-    (fun c -> Buffer.add_string b (Printf.sprintf "counter,%s,%d\n" (name c) (get c)))
+    (fun c ->
+      Buffer.add_string b
+        (Printf.sprintf "counter,%s,%d\n" (name c) now.(index c)))
     all;
   List.iter
     (fun (k, v) -> Buffer.add_string b (Printf.sprintf "gauge,%s,%.9g\n" k v))
@@ -140,14 +188,16 @@ let write_csv path =
   close_out oc
 
 let render_table () =
+  let now = merged () in
   let b = Buffer.create 512 in
   let rule = String.make 46 '-' in
   Buffer.add_string b "vmor metrics\n";
   Buffer.add_string b (rule ^ "\n");
   List.iter
     (fun c ->
-      if get c > 0 then
-        Buffer.add_string b (Printf.sprintf "  %-24s %12d\n" (name c) (get c)))
+      let v = now.(index c) in
+      if v > 0 then
+        Buffer.add_string b (Printf.sprintf "  %-24s %12d\n" (name c) v))
     all;
   List.iter
     (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-24s %12.6g\n" k v))

@@ -6,9 +6,14 @@
     (Arnoldi) iterations, deflation discards, ODE steps/rejections,
     Newton iterations and recovery-ladder attempts.
 
-    Counting is on by default (an increment is one guarded array
-    store); [set_enabled false] makes every recording operation a
-    no-op, giving benchmarks an uninstrumented baseline. *)
+    Counting is on by default and domain-safe: each domain increments
+    its own accumulator array (held in a [Domain.DLS] slot), and
+    readers merge all per-domain arrays under a mutex.  After
+    [Domain.join] the merged totals are exact; while other domains are
+    still running a read observes some interleaving of word-sized
+    stores, never a torn value.  [set_enabled false] makes every
+    recording operation a no-op, giving benchmarks an uninstrumented
+    baseline. *)
 
 type counter =
   | Lu_factor          (** dense LU factorizations ([La.Lu.factor]) *)
@@ -56,7 +61,7 @@ val histograms : unit -> (string * hstat) list
 type snapshot
 
 val snapshot : unit -> snapshot
-(** Capture current counter values (cheap: one array copy). *)
+(** Capture current merged counter values (one locked merge pass). *)
 
 val since : snapshot -> (counter * int) list
 (** Counter deltas accumulated after [snapshot], nonzero ones only. *)

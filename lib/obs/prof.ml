@@ -32,24 +32,18 @@ let zero =
     top_heap_words = 0;
   }
 
-let enabled = ref true
-
-let env_init =
-  lazy
+(* The environment knob is read eagerly at module init (before any
+   domain can exist), so the flag is a plain atomic — no lazy cell,
+   which would race under concurrent forcing. *)
+let enabled =
+  Atomic.make
     (match Sys.getenv_opt "VMOR_PROF" with
-    | Some v -> (
-      match String.lowercase_ascii v with
-      | "0" | "off" | "false" | "no" -> enabled := false
-      | _ -> ())
-    | None -> ())
+    | Some v ->
+      not (List.mem (String.lowercase_ascii v) [ "0"; "off"; "false"; "no" ])
+    | None -> true)
 
-let set_enabled b =
-  Lazy.force env_init;
-  enabled := b
-
-let is_enabled () =
-  Lazy.force env_init;
-  !enabled
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
 
 (* On OCaml 5.x the word counters in [Gc.quick_stat] are only
    refreshed at collection boundaries, so a span that triggers no

@@ -8,7 +8,8 @@
     fast path never reaches this module.
 
     [VMOR_PROF=0|off|false|no] disables capture even under an active
-    sink, read lazily on first use; {!set_enabled} overrides it. *)
+    sink, read once at module initialization; {!set_enabled} overrides
+    it (atomically — safe to flip from any domain). *)
 
 type t = {
   minor_words : float;  (** words allocated on the minor heap *)

@@ -97,28 +97,25 @@ let memory () =
 (* ------------------------------------------------------------------ *)
 (* Current sink + environment initialization.                         *)
 
-let sink = ref null
+let sink = Atomic.make null
 
-let env_init =
-  lazy
-    ((match Sys.getenv_opt "VMOR_TRACE" with
-     | Some path when path <> "" -> sink := jsonl_file path
-     | _ -> ());
-     match Sys.getenv_opt "VMOR_METRICS" with
-     | Some v when v <> "" -> (
-       match String.lowercase_ascii v with
-       | "1" | "true" | "on" | "yes" | "stderr" ->
-         at_exit (fun () -> prerr_string (Metrics.render_table ()))
-       | _ -> at_exit (fun () -> Metrics.write_csv v))
-     | _ -> ())
+(* Environment knobs are read eagerly at module init — before any
+   domain can be spawned — so the install itself needs no lock and
+   the hot-path read is a single atomic load. *)
+let () =
+  (match Sys.getenv_opt "VMOR_TRACE" with
+  | Some path when path <> "" -> Atomic.set sink (jsonl_file path)
+  | _ -> ());
+  match Sys.getenv_opt "VMOR_METRICS" with
+  | Some v when v <> "" -> (
+    match String.lowercase_ascii v with
+    | "1" | "true" | "on" | "yes" | "stderr" ->
+      at_exit (fun () -> prerr_string (Metrics.render_table ()))
+    | _ -> at_exit (fun () -> Metrics.write_csv v))
+  | _ -> ()
 
-let current () =
-  Lazy.force env_init;
-  !sink
+let current () = Atomic.get sink
 
-let set s =
-  Lazy.force env_init;
-  !sink.flush ();
-  sink := s
+let set s = (Atomic.exchange sink s).flush ()
 
 let is_active () = current () != null

@@ -4,7 +4,8 @@
     process holds exactly one current sink; the default {!null} sink
     makes tracing a no-op (physical-equality fast path in [Span]).
 
-    Environment knobs, read lazily on first use:
+    Environment knobs, read once at module initialization (before any
+    domain can be spawned, so the install is race-free):
     - [VMOR_TRACE=<file.jsonl>] — install a {!jsonl_file} sink;
     - [VMOR_METRICS=1|true|on|yes|stderr] — print the metrics table to
       stderr at process exit;
@@ -60,10 +61,10 @@ val memory : unit -> t * (unit -> captured)
     so far in emission order. *)
 
 val current : unit -> t
-(** The active sink (forces environment initialization). *)
+(** The active sink (one atomic load). *)
 
 val set : t -> unit
-(** Replace the active sink, flushing the previous one. *)
+(** Replace the active sink atomically, flushing the previous one. *)
 
 val is_active : unit -> bool
 (** [true] iff the active sink is not {!null}. *)

@@ -5,12 +5,15 @@
    and GC/allocation deltas accumulated inside it, and hands a span
    record to the sink when [f] returns or raises. *)
 
-let depth = ref 0
+(* Nesting depth is per-domain: concurrent spans in different domains
+   each track their own stack without synchronization. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let with_ ~name f =
   let s = Sink.current () in
   if s == Sink.null then f ()
   else begin
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
     let prof_on = Prof.is_enabled () in
@@ -35,6 +38,7 @@ let event ?(detail = "") name =
   let s = Sink.current () in
   if s != Sink.null then
     s.Sink.on_event
-      { Sink.name; depth = !depth; time = Clock.now (); detail }
+      { Sink.name; depth = !(Domain.DLS.get depth_key);
+        time = Clock.now (); detail }
 
 let active () = Sink.current () != Sink.null

@@ -1,0 +1,7 @@
+(* Fixture: base module of the diamond call graph. *)
+
+let state = ref 0
+
+let poke n = state := n
+let peek () = !state
+let pure x = x + 1

@@ -1,0 +1,3 @@
+val poke : int -> unit
+val peek : unit -> int
+val pure : int -> int

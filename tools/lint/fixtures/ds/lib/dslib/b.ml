@@ -1,0 +1,3 @@
+(* Fixture: left edge of the diamond — writes via A. *)
+
+let via_poke n = A.poke (A.pure n)

@@ -1,0 +1,1 @@
+val via_poke : int -> unit

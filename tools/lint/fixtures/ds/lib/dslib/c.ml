@@ -1,0 +1,3 @@
+(* Fixture: right edge of the diamond — reads via A. *)
+
+let via_peek () = A.peek () + 1

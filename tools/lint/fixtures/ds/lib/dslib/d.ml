@@ -1,0 +1,8 @@
+(* Fixture: diamond join — reaches the shared state through both
+   edges; the write edge must win (writes_shared > reads_shared). *)
+
+let diamond n =
+  B.via_poke n;
+  C.via_peek ()
+
+let read_only () = C.via_peek () + A.pure 0

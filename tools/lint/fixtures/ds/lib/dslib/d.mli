@@ -1,0 +1,2 @@
+val diamond : int -> int
+val read_only : unit -> int

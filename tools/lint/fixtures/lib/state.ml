@@ -1,0 +1,43 @@
+(* Fixture: module-level mutable state (toplevel-mutable) and
+   unsynchronized writes to it (unsync-global-write). *)
+
+(* positives: every detected kind of module-level mutable state *)
+let hits = ref 0
+let table : (string, int) Hashtbl.t = Hashtbl.create 8
+let scratch = Array.make 4 0.0
+let log_buf = Buffer.create 64
+let banner = lazy (String.make 3 '=')
+
+type cell = { mutable v : int }
+
+let shared_cell = { v = 0 }
+
+(* negatives: synchronization primitives and safe-by-construction state *)
+let mu = Mutex.create ()
+let total = Atomic.make 0
+let slot = Domain.DLS.new_key (fun () -> ref 0)
+let protected = ref [] [@@vmor.sync "guarded by mu"]
+
+(* negative: module-init writes happen-before every domain spawn *)
+let () = Hashtbl.replace table "boot" 0
+
+(* positives: unsynchronized writes from inside functions *)
+let bump () = hits := !hits + 1
+let record k n = Hashtbl.replace table k n
+let smudge i x = scratch.(i) <- x
+let log s = Buffer.add_string log_buf s
+let force_banner () = Lazy.force banner
+let poke n = shared_cell.v <- n
+let cheat x = protected := x :: !protected
+
+(* negatives: synchronized, atomic, DLS-backed or local mutation *)
+let ok_push x = Mutex.protect mu (fun () -> protected := x :: !protected)
+let ok_count () = Atomic.incr total
+let ok_local () =
+  let r = ref 0 in
+  incr r;
+  !r
+let ok_dls () =
+  let r = Domain.DLS.get slot in
+  r := !r + 1;
+  !r

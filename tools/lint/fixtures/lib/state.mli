@@ -1,0 +1,15 @@
+(* Fixture interface: state.ml's exported surface. *)
+
+type cell = { mutable v : int }
+
+val bump : unit -> unit
+val record : string -> int -> unit
+val smudge : int -> float -> unit
+val log : string -> unit
+val force_banner : unit -> string
+val poke : int -> unit
+val cheat : int -> unit
+val ok_push : int -> unit
+val ok_count : unit -> unit
+val ok_local : unit -> int
+val ok_dls : unit -> int

@@ -1,0 +1,2 @@
+(* Fixture: this file deliberately does not parse (parse-error). *)
+let = (

@@ -1,444 +1,113 @@
 (* vmor_lint: repo-specific static analysis for the AT-NMOR codebase.
 
-   Parses every .ml/.mli under the given roots with compiler-libs and
-   enforces the project rules from DESIGN.md ("Static analysis &
-   numerical contracts"):
+   All analysis lives in Lint_core (a library, so the test suite can
+   drive it on in-memory sources); this executable is the CLI.
 
-     float-eq          polymorphic =, <>, == or != applied to a float
-                       literal operand (use Contract.is_zero /
-                       Contract.float_equal / Contract.approx_eq)
-     obj-magic         any use of Obj.magic
-     lib-printf        stdout printing (Printf.printf, print_endline,
-                       ...) inside library code, i.e. under lib/
-     raw-matrix-alloc  Array.make (r * c) outside Mat/Cmat — matrix
-                       storage must go through the Mat/Cmat constructors
-     mli-pair          a .ml under lib/ without a sibling .mli
-     dim-guard         an exported lib/la function consuming >= 2
-                       matrix/vector operands whose body neither touches
-                       the dimensions of two arguments, calls a contract
-                       combinator, nor delegates to a guarded sibling
-     no-bare-failwith  failwith inside library code — library failures
-                       must raise the typed Robust.Error taxonomy (or a
-                       Contract Invalid_argument), never a bare Failure
-     raw-clock         Unix.gettimeofday / Sys.time outside lib/obs —
-                       Obs.Clock is the sole wall-clock access, so every
-                       timing path is span-instrumentable
-     raw-gc            Gc.stat / Gc.quick_stat / Gc.counters /
-                       Gc.minor_words outside
-                       lib/obs — Obs.Prof is the sole GC introspection
-                       point, so allocation telemetry stays on the
-                       span/bench path
-     parse-error       file does not parse (never allowlisted)
+   Modes:
 
-   Output is machine readable, one violation per line:
+     vmor_lint [--allowlist FILE] PATH...
+         AST rules (see --list-rules).  One violation per line,
+         "file:line: rule-id  message", sorted by (file, line, rule);
+         exit 1 when any violation survives the allowlist.
 
-     file:line: rule-id  message
+     vmor_lint --domain-safety [--json OUT] [--allowlist FILE] PATH...
+         Interprocedural shared-mutable-state classification of every
+         exported lib/ value: the inventory goes to stdout (diffable
+         against tools/lint/domain_safety.expected), unallowlisted
+         writes_shared exports are appended as shared-write violations,
+         and --json writes the machine-readable report to OUT.
 
-   sorted by (file, line, rule). Exit status is 1 when any violation
-   survives the allowlist, 0 otherwise. The allowlist file holds lines
-   of the form "rule-id path" ('#' comments allowed) and suppresses all
-   findings of that rule in that file. *)
+     vmor_lint --list-rules
+         Every rule id with its one-line doc.
 
-let rules =
-  [ "float-eq"; "obj-magic"; "lib-printf"; "raw-matrix-alloc"; "mli-pair";
-    "dim-guard"; "no-bare-failwith"; "raw-clock"; "raw-gc"; "parse-error" ]
+     vmor_lint --check-rule-coverage FILE...
+         Reads lint outputs (fixture runs) and fails unless every rule
+         id appears at least once — the self-consistency check that the
+         rules table and the dispatch/fixture set cannot drift.
 
-type violation = { file : string; line : int; rule : string; msg : string }
+   The allowlist file holds "rule-id path" lines ('#' comments allowed)
+   and suppresses all findings of that rule in that file; entries that
+   match nothing trigger the stale-allowlist diagnostic. *)
 
-let violations : violation list ref = ref []
+let usage () =
+  prerr_endline
+    "usage: vmor_lint [--allowlist FILE] PATH...\n\
+    \       vmor_lint --domain-safety [--json OUT] [--allowlist FILE] PATH...\n\
+    \       vmor_lint --list-rules\n\
+    \       vmor_lint --check-rule-coverage FILE...";
+  exit 2
 
-let report file line rule msg = violations := { file; line; rule; msg } :: !violations
-
-(* ---------- path predicates ---------- *)
-
-let segments path = String.split_on_char '/' path
-
-let in_lib path = List.mem "lib" (segments path)
-
-let in_lib_la path =
-  let rec scan = function
-    | "lib" :: "la" :: _ -> true
-    | _ :: rest -> scan rest
-    | [] -> false
-  in
-  scan (segments path)
-
-(* Obs.Clock is the one blessed home of raw wall-clock reads. *)
-let in_lib_obs path =
-  let rec scan = function
-    | "lib" :: "obs" :: _ -> true
-    | _ :: rest -> scan rest
-    | [] -> false
-  in
-  scan (segments path)
-
-let basename path =
-  match List.rev (segments path) with b :: _ -> b | [] -> path
-
-(* Mat/Cmat own the raw row-major storage; everyone else must use them. *)
-let owns_matrix_storage path =
-  in_lib_la path && List.mem (basename path) [ "mat.ml"; "cmat.ml" ]
-
-(* ---------- parsing ---------- *)
-
-let parse_file path kind =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lexbuf = Lexing.from_channel ic in
-      Location.init lexbuf path;
-      match kind with
-      | `Impl -> `Impl (Parse.implementation lexbuf)
-      | `Intf -> `Intf (Parse.interface lexbuf))
-
-(* ---------- AST helpers ---------- *)
-
-open Parsetree
-
-let line_of (loc : Location.t) = loc.loc_start.pos_lnum
-
-let ident_name (e : expression) =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
-  | _ -> None
-
-let is_float_literal (e : expression) =
-  match e.pexp_desc with
-  | Pexp_constant (Pconst_float _) -> true
-  | Pexp_apply
-      ( { pexp_desc = Pexp_ident { txt = Longident.Lident ("~-." | "~+."); _ }; _ },
-        [ (_, { pexp_desc = Pexp_constant (Pconst_float _); _ }) ] ) ->
-      true
-  | _ -> false
-
-(* Iterate expressions of a structure, calling [f] on each. *)
-let iter_expressions (str : structure) (f : expression -> unit) =
-  let open Ast_iterator in
-  let it =
-    { default_iterator with
-      expr = (fun self e -> f e; default_iterator.expr self e)
-    }
-  in
-  it.structure it str
-
-(* ---------- expression-level rules (float-eq, obj-magic, lib-printf,
-   raw-matrix-alloc) ---------- *)
-
-let stdout_printers =
-  [ [ "Printf"; "printf" ]; [ "print_endline" ]; [ "print_string" ];
-    [ "print_float" ]; [ "print_int" ]; [ "print_newline" ];
-    [ "print_char" ]; [ "Format"; "printf" ] ]
-
-let check_expression path (e : expression) =
-  let line = line_of e.pexp_loc in
-  (match e.pexp_desc with
-   | Pexp_apply (fn, args) -> (
-       match ident_name fn with
-       | Some [ ("=" | "<>" | "==" | "!=") as op ]
-         when List.exists (fun (_, a) -> is_float_literal a) args ->
-           report path line "float-eq"
-             (Printf.sprintf
-                "polymorphic (%s) on a float literal; use Contract.is_zero, \
-                 Contract.float_equal or Contract.approx_eq" op)
-       | Some ([ "failwith" ] | [ "Stdlib"; "failwith" ]) when in_lib path ->
-           report path line "no-bare-failwith"
-             "bare failwith in library code; raise a typed Robust.Error \
-              (or Invalid_argument through a Contract combinator)"
-       | Some [ "Array"; "make" ] when not (owns_matrix_storage path) -> (
-           (* flag Array.make (r * c) — matrix-shaped allocation *)
-           match args with
-           | (_, n) :: _ -> (
-               match n.pexp_desc with
-               | Pexp_apply (mul, [ _; _ ]) when ident_name mul = Some [ "*" ] ->
-                   report path line "raw-matrix-alloc"
-                     "Array.make with a product size allocates raw matrix \
-                      storage; use Mat.create / Cmat.create / Vec.create"
-               | _ -> ())
-           | [] -> ())
-       | _ -> ())
-   | _ -> ());
-  (match ident_name e with
-   | Some [ "Obj"; "magic" ] ->
-       report path line "obj-magic" "Obj.magic defeats the type system"
-   | Some
-       ( [ "Unix"; "gettimeofday" ] | [ "Sys"; "time" ]
-       | [ "Stdlib"; "Sys"; "time" ] )
-     when not (in_lib_obs path) ->
-       report path line "raw-clock"
-         "raw wall-clock access outside lib/obs; route timing through \
-          Obs.Clock so it is span-instrumentable"
-   | Some
-       ( [ "Gc"; ("stat" | "quick_stat" | "counters" | "minor_words") ]
-       | [ "Stdlib"; "Gc"; ("stat" | "quick_stat" | "counters" | "minor_words") ] )
-     when not (in_lib_obs path) ->
-       report path line "raw-gc"
-         "raw GC introspection outside lib/obs; route allocation telemetry \
-          through Obs.Prof so it rides the span/bench path"
-   | Some name when in_lib path && List.mem name stdout_printers ->
-       report path line "lib-printf"
-         (Printf.sprintf "%s in library code; return strings or use Format \
-                          with an explicit formatter" (String.concat "." name))
-   | _ -> ())
-
-(* ---------- dim-guard ---------- *)
-
-(* An "operand" argument type: a matrix/vector-like value whose shape
-   can disagree with another operand's. *)
-let is_operand_type (t : core_type) =
-  match t.ptyp_desc with
-  | Ptyp_constr ({ txt; _ }, []) -> (
-      match Longident.flatten txt with
-      | [ "t" ]
-      | [ ("Mat" | "Vec" | "Cmat" | "Cvec" | "Sptensor"); "t" ] -> true
-      | _ -> false)
-  | _ -> false
-
-(* Count operand-typed parameters of a val declaration's arrow type. *)
-let count_operands (t : core_type) =
-  let rec go acc (t : core_type) =
-    match t.ptyp_desc with
-    | Ptyp_arrow (_, arg, rest) ->
-        go (if is_operand_type arg then acc + 1 else acc) rest
-    | _ -> acc
-  in
-  go 0 t
-
-(* Exported functions with >= 2 operands, from the .mli. *)
-let exported_multi_operand (intf : signature) =
-  List.filter_map
-    (fun (item : signature_item) ->
-      match item.psig_desc with
-      | Psig_value vd when count_operands vd.pval_type >= 2 ->
-          Some vd.pval_name.txt
-      | _ -> None)
-    intf
-
-(* Decompose [let f p1 p2 ... = body] into parameter names and body. *)
-let rec fun_params (e : expression) acc =
-  match e.pexp_desc with
-  | Pexp_fun (_, _, pat, body) ->
-      let name =
-        match pat.ppat_desc with
-        | Ppat_var { txt; _ } -> Some txt
-        | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> Some txt
-        | _ -> None
-      in
-      fun_params body (name :: acc)
-  | Pexp_newtype (_, body) -> fun_params body acc
-  | _ -> (List.rev acc, e)
-
-let iter_sub_expressions (e : expression) (f : expression -> unit) =
-  let open Ast_iterator in
-  let it =
-    { default_iterator with
-      expr = (fun self e -> f e; default_iterator.expr self e)
-    }
-  in
-  it.expr it e
-
-(* Functions whose name marks them as a guard in their own right. *)
-let is_guard_name name =
-  match List.rev name with
-  | last :: _ ->
-      String.length last >= 6
-      && (String.sub last 0 6 = "check_"
-          || (String.length last >= 7 && String.sub last 0 7 = "require")
-          || last = "invalid_arg")
-  | [] -> false
-
-let mentions_param (e : expression) p =
-  let found = ref false in
-  iter_sub_expressions e (fun e' ->
-      match e'.pexp_desc with
-      | Pexp_ident { txt = Longident.Lident x; _ } when x = p -> found := true
-      | _ -> ());
-  !found
-
-(* Names whose application reads a dimension. *)
-let is_dims_reader name =
-  match List.rev name with
-  | last :: _ ->
-      List.mem last [ "length"; "rows"; "cols"; "dims"; "dim"; "n_in";
-                      "n_out"; "arity"; "nnz" ]
-  | [] -> false
-
-(* Does [body] read the dimensions of >= 2 distinct parameters, or call
-   a guard combinator? *)
-let body_guards body params =
-  let guard_call = ref false in
-  let touched = Hashtbl.create 4 in
-  let touch_args args =
-    List.iter
-      (fun (_, a) ->
-        List.iter
-          (fun p -> if mentions_param a p then Hashtbl.replace touched p ())
-          params)
-      args
-  in
-  iter_sub_expressions body (fun e ->
-      match e.pexp_desc with
-      | Pexp_apply (fn, args) -> (
-          match ident_name fn with
-          | Some name when is_guard_name name -> guard_call := true
-          | Some name when is_dims_reader name -> touch_args args
-          | _ -> ())
-      | Pexp_field (base, { txt; _ }) -> (
-          match Longident.flatten txt with
-          | [ ("rows" | "cols") ] | [ _; ("rows" | "cols") ] ->
-              List.iter
-                (fun p ->
-                  if mentions_param base p then Hashtbl.replace touched p ())
-                params
-          | _ -> ())
-      | Pexp_match ({ pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }, _)
-        when List.mem x params ->
-          (* dispatching on an operand's structure is shape inspection *)
-          Hashtbl.replace touched x ()
-      | _ -> ());
-  !guard_call || Hashtbl.length touched >= 2
-
-(* Local functions called (by unqualified name) anywhere in [body]. *)
-let local_calls body =
-  let calls = ref [] in
-  iter_sub_expressions body (fun e ->
-      match e.pexp_desc with
-      | Pexp_ident { txt = Longident.Lident x; _ } -> calls := x :: !calls
-      | _ -> ());
-  !calls
-
-let check_dim_guards ml_path (str : structure) (intf : signature) =
-  let wanted = exported_multi_operand intf in
-  if wanted <> [] then begin
-    (* toplevel bindings: name -> (line, params, body) *)
-    let bindings = Hashtbl.create 16 in
-    List.iter
-      (fun (item : structure_item) ->
-        match item.pstr_desc with
-        | Pstr_value (_, vbs) ->
-            List.iter
-              (fun (vb : value_binding) ->
-                match vb.pvb_pat.ppat_desc with
-                | Ppat_var { txt; _ }
-                | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) ->
-                    let params, body = fun_params vb.pvb_expr [] in
-                    Hashtbl.replace bindings txt
-                      (line_of vb.pvb_loc, params, body)
-                | _ -> ())
-              vbs
-        | _ -> ())
-      str;
-    (* fixpoint: a function is guarded if its own body guards, or it
-       calls a guarded sibling (delegation like
-       [let add a b = map2 (+.) a b]). *)
-    let guarded = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun name (_, params, body) ->
-        let params = List.filter_map Fun.id params in
-        if body_guards body params then Hashtbl.replace guarded name ())
-      bindings;
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      Hashtbl.iter
-        (fun name (_, _, body) ->
-          if not (Hashtbl.mem guarded name)
-          && List.exists (Hashtbl.mem guarded) (local_calls body)
-          then begin
-            Hashtbl.replace guarded name ();
-            changed := true
-          end)
-        bindings
-    done;
-    List.iter
-      (fun name ->
-        match Hashtbl.find_opt bindings name with
-        | Some (line, _, _) when not (Hashtbl.mem guarded name) ->
-            report ml_path line "dim-guard"
-              (Printf.sprintf
-                 "%s consumes two matrix/vector operands but never checks \
-                  their dimensions (call a Contract combinator or compare \
-                  both shapes)" name)
-        | _ -> ())
-      wanted
+let print_violations vs =
+  List.iter (fun v -> print_endline (Lint_core.format_violation v)) vs;
+  if vs <> [] then begin
+    Printf.printf "vmor_lint: %d violation(s)\n" (List.length vs);
+    exit 1
   end
 
-(* ---------- per-file driver ---------- *)
+let check_roots roots =
+  if roots = [] then usage ();
+  List.iter
+    (fun root ->
+      if not (Sys.file_exists root) then begin
+        Printf.eprintf "vmor_lint: no such file or directory: %s\n" root;
+        exit 2
+      end)
+    roots
 
-let lint_file path =
-  if Filename.check_suffix path ".ml" then begin
-    match parse_file path `Impl with
-    | exception _ -> report path 1 "parse-error" "file does not parse"
-    | `Intf _ -> assert false
-    | `Impl str ->
-        iter_expressions str (check_expression path);
-        if in_lib path then begin
-          let mli = Filename.remove_extension path ^ ".mli" in
-          if not (Sys.file_exists mli) then
-            report path 1 "mli-pair"
-              "library module has no interface file (.mli)"
-          else if in_lib_la path then begin
-            match parse_file mli `Intf with
-            | exception _ -> () (* reported when the .mli itself is linted *)
-            | `Impl _ -> assert false
-            | `Intf intf -> check_dim_guards path str intf
-          end
-        end
+let list_rules () =
+  List.iter
+    (fun (id, doc) -> Printf.printf "%-20s %s\n" id doc)
+    Lint_core.rules
+
+(* Collect the rule ids present in lint-output files: the token after
+   "file:line: " on each violation line. *)
+let check_rule_coverage files =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun file ->
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              let line = input_line ic in
+              (* "path:NN: rule-id  msg" — rule is the first token after
+                 the second ':' *)
+              match String.index_opt line ':' with
+              | Some i -> (
+                  match String.index_from_opt line (i + 1) ':' with
+                  | Some j -> (
+                      let rest =
+                        String.sub line (j + 1) (String.length line - j - 1)
+                      in
+                      let rest = String.trim rest in
+                      match String.index_opt rest ' ' with
+                      | Some k -> Hashtbl.replace seen (String.sub rest 0 k) ()
+                      | None -> ())
+                  | None -> ())
+              | None -> ()
+            done
+          with End_of_file -> ()))
+    files;
+  let missing =
+    List.filter (fun id -> not (Hashtbl.mem seen id))
+      (List.map fst Lint_core.rules)
+  in
+  if missing <> [] then begin
+    Printf.eprintf
+      "vmor_lint: rules with no fixture coverage: %s\n\
+       (every rule in Lint_core.rules must be exercised by the seeded \
+       fixtures)\n"
+      (String.concat ", " missing);
+    exit 1
   end
-  else if Filename.check_suffix path ".mli" then begin
-    match parse_file path `Intf with
-    | exception _ -> report path 1 "parse-error" "file does not parse"
-    | _ -> ()
-  end
-
-let rec walk path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort compare
-    |> List.iter (fun entry ->
-           if entry <> "_build" && entry <> ".git" then
-             walk (Filename.concat path entry))
-  else lint_file path
-
-(* ---------- allowlist ---------- *)
-
-let load_allowlist path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let entries = ref [] in
-        (try
-           while true do
-             let raw = input_line ic in
-             let line = String.trim raw in
-             if line <> "" && line.[0] <> '#' then
-               match String.index_opt line ' ' with
-               | Some i ->
-                   let rule = String.sub line 0 i in
-                   let file =
-                     String.trim (String.sub line i (String.length line - i))
-                   in
-                   if not (List.mem rule rules) then begin
-                     Printf.eprintf "vmor_lint: unknown rule %S in %s\n" rule
-                       path;
-                     exit 2
-                   end;
-                   entries := (rule, file) :: !entries
-               | None ->
-                   Printf.eprintf "vmor_lint: malformed allowlist line %S\n"
-                     line;
-                   exit 2
-           done
-         with End_of_file -> ());
-        !entries)
-  end
-
-(* ---------- main ---------- *)
 
 let () =
   let allowlist_path = ref "" in
+  let json_out = ref "" in
+  let domain_safety = ref false in
+  let coverage = ref false in
   let roots = ref [] in
   let rec parse_args = function
     | "--allowlist" :: file :: rest ->
@@ -447,44 +116,52 @@ let () =
     | "--allowlist" :: [] ->
         prerr_endline "vmor_lint: --allowlist needs a file argument";
         exit 2
+    | "--json" :: file :: rest ->
+        json_out := file;
+        parse_args rest
+    | "--json" :: [] ->
+        prerr_endline "vmor_lint: --json needs a file argument";
+        exit 2
+    | "--domain-safety" :: rest ->
+        domain_safety := true;
+        parse_args rest
+    | "--list-rules" :: rest ->
+        list_rules ();
+        if rest <> [] then usage ();
+        exit 0
+    | "--check-rule-coverage" :: rest ->
+        coverage := true;
+        roots := List.rev rest
     | arg :: rest ->
         roots := arg :: !roots;
         parse_args rest
     | [] -> ()
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  if !roots = [] then begin
-    prerr_endline "usage: vmor_lint [--allowlist FILE] PATH...";
-    exit 2
-  end;
-  let allow = if !allowlist_path = "" then [] else load_allowlist !allowlist_path in
-  List.iter
-    (fun root ->
-      if not (Sys.file_exists root) then begin
-        Printf.eprintf "vmor_lint: no such file or directory: %s\n" root;
-        exit 2
-      end)
-    !roots;
-  List.iter walk (List.rev !roots);
-  let surviving =
-    List.filter
-      (fun v ->
-        v.rule = "parse-error"
-        || not (List.mem (v.rule, v.file) allow))
-      !violations
-  in
-  let sorted =
-    List.sort
-      (fun a b ->
-        match compare a.file b.file with
-        | 0 -> ( match compare a.line b.line with 0 -> compare a.rule b.rule | c -> c)
-        | c -> c)
-      surviving
-  in
-  List.iter
-    (fun v -> Printf.printf "%s:%d: %s  %s\n" v.file v.line v.rule v.msg)
-    sorted;
-  if sorted <> [] then begin
-    Printf.printf "vmor_lint: %d violation(s)\n" (List.length sorted);
-    exit 1
+  if !coverage then begin
+    check_roots (List.rev !roots);
+    check_rule_coverage (List.rev !roots)
+  end
+  else if !domain_safety then begin
+    check_roots !roots;
+    let lines, violations =
+      Lint_core.run_domain_safety ~allowlist_path:!allowlist_path
+        ~roots:(List.rev !roots)
+    in
+    print_string (Lint_core.render_inventory lines);
+    if !json_out <> "" then begin
+      let oc = open_out !json_out in
+      output_string oc
+        (Lint_core.render_inventory_json ~roots:(List.rev !roots) lines);
+      close_out oc
+    end;
+    print_violations violations
+  end
+  else begin
+    check_roots !roots;
+    let violations =
+      Lint_core.run_lint ~allowlist_path:!allowlist_path
+        ~roots:(List.rev !roots)
+    in
+    print_violations violations
   end
