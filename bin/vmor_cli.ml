@@ -10,20 +10,29 @@
 open Cmdliner
 
 (* Exit codes (documented in README): 0 success, 2 usage error,
-   3 numerical failure, 4 reduction produced but degraded/recovered.
-   Library failures surface as one-line messages, never raw
-   backtraces. *)
+   3 numerical failure, 4 result produced but degraded/recovered
+   (including budget-truncated best-effort results), 5 compute budget
+   exhausted before anything was produced. Library failures surface as
+   one-line messages, never raw backtraces. *)
 exception Usage_error of string
 
 let exit_usage = 2
 let exit_numerical = 3
 let exit_degraded = 4
+let exit_budget = 5
 
 let guarded f () =
   try f () with
   | Usage_error msg ->
     Printf.eprintf "vmor: %s\n" msg;
     exit exit_usage
+  | Invalid_argument msg ->
+    Printf.eprintf "vmor: %s\n" msg;
+    exit exit_usage
+  | Robust.Error.Error e when Robust.Budget.is_budget_error e ->
+    Printf.eprintf "vmor: compute budget exhausted: %s\n"
+      (Robust.Error.to_string e);
+    exit exit_budget
   | Robust.Error.Error e ->
     Printf.eprintf "vmor: numerical failure: %s\n" (Robust.Error.to_string e);
     exit exit_numerical
@@ -72,6 +81,37 @@ let setup_obs ~trace ~metrics =
   | None -> ());
   if metrics then
     at_exit (fun () -> prerr_string (Obs.Metrics.render_table ()))
+
+(* ---- compute-budget flags (shared by the core subcommands) ---- *)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock compute budget in seconds. When it expires mid-run the \
+     kernels degrade to a best-effort result — a smaller ROM or a \
+     truncated transient, exit code 4 — or stop with exit code 5 when \
+     nothing was produced."
+  in
+  let env = Cmd.Env.info "VMOR_DEADLINE" ~doc:"See option $(b,--deadline)." in
+  Arg.(
+    value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~env ~doc)
+
+let max_steps_arg =
+  let doc = "Budget: cap on ODE integration steps (accepted + rejected)." in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let max_iters_arg =
+  let doc = "Budget: cap on Arnoldi/Krylov basis iterations." in
+  Arg.(value & opt (some int) None & info [ "max-iters" ] ~docv:"N" ~doc)
+
+(* No budget flags at all = no budget installed; unbudgeted runs stay
+   bit-identical to pre-budget behavior. *)
+let budget_of ~deadline ~max_steps ~max_iters : Robust.Budget.t option =
+  match (deadline, max_steps, max_iters) with
+  | None, None, None -> None
+  | _ ->
+    Some
+      (Robust.Budget.make ?deadline ?max_ode_steps:max_steps
+         ?max_arnoldi_iters:max_iters ())
 
 (* ---- experiment reproduction commands ---- *)
 
@@ -213,9 +253,12 @@ let default_input q ~freq ~amp =
 (* ---- core subcommands ---- *)
 
 let reduce_cmd =
-  let run model orders method_ points s0 tol scale trace metrics () =
+  let run model orders method_ points s0 tol scale trace metrics deadline
+      max_steps max_iters () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
+    Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
+    @@ fun () ->
     let q = build_model ~scale model in
     let k1, k2, k3 = orders in
     let options = build_options ~method_ ~points ?s0 ~tol () in
@@ -229,15 +272,23 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce" ~doc:"Reduce a bundled circuit model and report sizes.")
     Term.(
-      const (fun model orders method_ points s0 tol scale trace metrics ->
-          guarded (run model orders method_ points s0 tol scale trace metrics))
+      const
+        (fun model orders method_ points s0 tol scale trace metrics deadline
+             max_steps max_iters ->
+          guarded
+            (run model orders method_ points s0 tol scale trace metrics
+               deadline max_steps max_iters))
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
-      $ scale_arg $ trace_arg $ metrics_arg $ const ())
+      $ scale_arg $ trace_arg $ metrics_arg $ deadline_arg $ max_steps_arg
+      $ max_iters_arg $ const ())
 
 let simulate_cmd =
-  let run model scale t1 samples freq amp trace metrics () =
+  let run model scale t1 samples freq amp trace metrics deadline max_steps
+      max_iters () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
+    Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
+    @@ fun () ->
     let q = build_model ~scale model in
     let input = default_input q ~freq ~amp in
     let times, y = Vmor.transient ~samples q ~input ~t1 in
@@ -245,22 +296,36 @@ let simulate_cmd =
       "model %s: %d states, %d samples to t=%g\n  output peak %.6g, final %.6g\n"
       model (Volterra.Qldae.dim q) (Array.length times) t1
       (Waves.Metrics.peak y)
-      y.(Array.length y - 1)
+      y.(Array.length y - 1);
+    if Array.length times < samples then begin
+      Printf.printf
+        "partial: compute budget expired at t=%g (%d of %d samples)\n"
+        times.(Array.length times - 1)
+        (Array.length times) samples;
+      exit exit_degraded
+    end
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Transient-simulate a bundled circuit model (first output).")
     Term.(
-      const (fun model scale t1 samples freq amp trace metrics ->
-          guarded (run model scale t1 samples freq amp trace metrics))
+      const
+        (fun model scale t1 samples freq amp trace metrics deadline max_steps
+             max_iters ->
+          guarded
+            (run model scale t1 samples freq amp trace metrics deadline
+               max_steps max_iters))
       $ model_arg $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg
-      $ trace_arg $ metrics_arg $ const ())
+      $ trace_arg $ metrics_arg $ deadline_arg $ max_steps_arg $ max_iters_arg
+      $ const ())
 
 let compare_cmd =
   let run model orders method_ points s0 tol scale t1 samples freq amp trace
-      metrics () =
+      metrics deadline max_steps max_iters () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
+    Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
+    @@ fun () ->
     let q = build_model ~scale model in
     let k1, k2, k3 = orders in
     let options = build_options ~method_ ~points ?s0 ~tol () in
@@ -273,7 +338,13 @@ let compare_cmd =
       model (Volterra.Qldae.dim q) (Vmor.order r) c.Vmor.max_rel_error
       (Array.length c.Vmor.full_outputs)
       (if Array.length c.Vmor.full_outputs = 1 then "" else "s");
-    finish_with_report (Vmor.degradation r)
+    let truncated = Array.length c.Vmor.times < samples in
+    if truncated then
+      Printf.printf
+        "partial: compute budget truncated the transient (%d of %d samples)\n"
+        (Array.length c.Vmor.times) samples;
+    finish_with_report (Vmor.degradation r);
+    if truncated then exit exit_degraded
   in
   Cmd.v
     (Cmd.info "compare"
@@ -283,21 +354,24 @@ let compare_cmd =
     Term.(
       const
         (fun model orders method_ points s0 tol scale t1 samples freq amp trace
-             metrics ->
+             metrics deadline max_steps max_iters ->
           guarded
             (run model orders method_ points s0 tol scale t1 samples freq amp
-               trace metrics))
+               trace metrics deadline max_steps max_iters))
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
       $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ trace_arg
-      $ metrics_arg $ const ())
+      $ metrics_arg $ deadline_arg $ max_steps_arg $ max_iters_arg $ const ())
 
 let trace_cmd =
   let out_arg =
     let doc = "Trace output path." in
     Arg.(value & opt string "vmor_trace.jsonl" & info [ "o"; "out" ] ~docv:"FILE.jsonl" ~doc)
   in
-  let run model orders method_ points s0 tol scale t1 samples freq amp out () =
+  let run model orders method_ points s0 tol scale t1 samples freq amp out
+      deadline max_steps max_iters () =
     setup_logs (Some Logs.Warning);
+    Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
+    @@ fun () ->
     (* Tee spans into the JSONL file and an in-memory capture, so the
        command can both persist the trace and summarize it. *)
     let mem, captured = Obs.Sink.memory () in
@@ -348,13 +422,14 @@ let trace_cmd =
           trace, and summarize spans and kernel counts.")
     Term.(
       const
-        (fun model orders method_ points s0 tol scale t1 samples freq amp out ->
+        (fun model orders method_ points s0 tol scale t1 samples freq amp out
+             deadline max_steps max_iters ->
           guarded
             (run model orders method_ points s0 tol scale t1 samples freq amp
-               out))
+               out deadline max_steps max_iters))
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
       $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ out_arg
-      $ const ())
+      $ deadline_arg $ max_steps_arg $ max_iters_arg $ const ())
 
 let load_trace path =
   try Obs.Trace.load path with
@@ -473,9 +548,11 @@ let profile_cmd =
       $ trace_file_arg $ chrome_arg $ folded_arg $ top_arg $ const ())
 
 let autoselect_cmd =
-  let run model scale trace metrics () =
+  let run model scale trace metrics deadline max_steps max_iters () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
+    Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
+    @@ fun () ->
     let q = build_model ~scale model in
     (match Mor.Autoselect.suggest_k1 ~tol:1e-5 q with
     | Some k -> Printf.printf "Hankel SVs suggest linear order k1 = %d\n" k
@@ -494,9 +571,11 @@ let autoselect_cmd =
   Cmd.v
     (Cmd.info "autoselect"
        ~doc:"Automatically select moment orders for a bundled model (§4).")
-    Term.(const (fun model scale trace metrics ->
-              guarded (run model scale trace metrics))
-          $ model_arg $ scale_arg $ trace_arg $ metrics_arg $ const ())
+    Term.(
+      const (fun model scale trace metrics deadline max_steps max_iters ->
+          guarded (run model scale trace metrics deadline max_steps max_iters))
+      $ model_arg $ scale_arg $ trace_arg $ metrics_arg $ deadline_arg
+      $ max_steps_arg $ max_iters_arg $ const ())
 
 let distortion_cmd =
   let dfreq_arg =
@@ -542,8 +621,35 @@ let all_cmd =
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
+  (* Keep this table in sync with the README exit-code table; a test
+     diffs the two. *)
+  let exits =
+    [
+      Cmd.Exit.info ~doc:"on success (clean run)." 0;
+      Cmd.Exit.info
+        ~doc:"on usage errors (bad flag values, unknown model or method)."
+        exit_usage;
+      Cmd.Exit.info
+        ~doc:
+          "on numerical failure (singular system, integrator step failure, \
+           exhausted recovery ladder)."
+        exit_numerical;
+      Cmd.Exit.info
+        ~doc:
+          "when a result was produced but degraded or recovered — dropped \
+           moment orders, fallback rungs, or a compute budget truncating to \
+           a best-effort ROM / partial transient."
+        exit_degraded;
+      Cmd.Exit.info
+        ~doc:
+          "when a compute budget ($(b,--deadline), $(b,--max-steps), \
+           $(b,--max-iters)) was exhausted before any result was produced."
+        exit_budget;
+    ]
+    @ List.filter (fun i -> Cmd.Exit.info_code i <> 0) Cmd.Exit.defaults
+  in
   let info =
-    Cmd.info "vmor" ~version:"1.0.0"
+    Cmd.info "vmor" ~version:"1.0.0" ~exits
       ~doc:
         "Associated-transform nonlinear model order reduction (DAC 2012 \
          reproduction)."

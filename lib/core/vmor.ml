@@ -35,6 +35,7 @@ module Options = struct
     recorder : Robust.Report.recorder option;
     fault : Robust.Faultify.plan option;
     h3_triples : [ `All | `Diagonal ];
+    budget : Robust.Budget.t option;
   }
 
   let default =
@@ -46,17 +47,20 @@ module Options = struct
       recorder = None;
       fault = None;
       h3_triples = `All;
+      budget = None;
     }
 
   let make ?s0 ?(tol = 1e-8) ?(method_ = Associated_transform) ?policy
-      ?recorder ?fault ?(h3_triples = `All) () =
-    { s0; tol; method_; policy; recorder; fault; h3_triples }
+      ?recorder ?fault ?(h3_triples = `All) ?budget () =
+    { s0; tol; method_; policy; recorder; fault; h3_triples; budget }
 end
 
 let reduce ?(options = Options.default) ~orders (q : system) : reduction =
-  let { Options.s0; tol; method_; policy; recorder; fault; h3_triples } =
+  let { Options.s0; tol; method_; policy; recorder; fault; h3_triples; budget }
+      =
     options
   in
+  Robust.Budget.with_budget budget @@ fun () ->
   match method_ with
   | Associated_transform ->
     Mor.Atmor.reduce ?recorder ?policy ?fault ?s0 ~tol ~h3_triples ~orders q
@@ -102,8 +106,18 @@ let compare_transient ?solver ?samples:(samples = 201) (q : system)
   let rom_sol =
     Volterra.Qldae.simulate ?solver (rom r) ~input ~t0:0.0 ~t1 ~samples
   in
-  let full_outputs = Volterra.Qldae.outputs q full_sol in
-  let rom_outputs = Volterra.Qldae.outputs (rom r) rom_sol in
+  (* A compute budget may truncate either transient ([partial]); the
+     comparison covers the common prefix of the two sample grids. *)
+  let n =
+    min
+      (Array.length full_sol.Ode.Types.times)
+      (Array.length rom_sol.Ode.Types.times)
+  in
+  let prefix a = if Array.length a = n then a else Array.sub a 0 n in
+  let full_outputs = Array.map prefix (Volterra.Qldae.outputs q full_sol) in
+  let rom_outputs =
+    Array.map prefix (Volterra.Qldae.outputs (rom r) rom_sol)
+  in
   let channel_errors =
     Array.map2
       (fun reference approx ->
@@ -111,11 +125,11 @@ let compare_transient ?solver ?samples:(samples = 201) (q : system)
       full_outputs rom_outputs
   in
   let rel_error =
-    Array.init samples (fun i ->
+    Array.init n (fun i ->
         Array.fold_left (fun acc e -> Float.max acc e.(i)) 0.0 channel_errors)
   in
   {
-    times = full_sol.Ode.Types.times;
+    times = prefix full_sol.Ode.Types.times;
     full_output = full_outputs.(0);
     rom_output = rom_outputs.(0);
     full_outputs;

@@ -78,11 +78,16 @@ module Options : sig
     fault : Robust.Faultify.plan option;  (** fault injection (tests) *)
     h3_triples : [ `All | `Diagonal ];
         (** MISO third-order input-triple coverage *)
+    budget : Robust.Budget.t option;
+        (** compute budget (deadline / step caps) installed around the
+            reduction; exhaustion degrades to a best-effort ROM or
+            raises {!Robust.Error.Budget_exceeded} (see DESIGN.md §13).
+            [None] leaves any ambient budget untouched. *)
   }
 
   val default : t
   (** [Associated_transform] at the automatic expansion point,
-      [tol = 1e-8], no recovery overrides, [`All] triples. *)
+      [tol = 1e-8], no recovery overrides, [`All] triples, no budget. *)
 
   val make :
     ?s0:float ->
@@ -92,6 +97,7 @@ module Options : sig
     ?recorder:Robust.Report.recorder ->
     ?fault:Robust.Faultify.plan ->
     ?h3_triples:[ `All | `Diagonal ] ->
+    ?budget:Robust.Budget.t ->
     unit ->
     t
 end
@@ -153,7 +159,11 @@ val compare_transient :
     Every output channel of a MIMO system is compared: [rel_error] and
     [max_rel_error] are worst-case over channels, while [full_output] /
     [rom_output] keep the first channel for plotting. (Earlier versions
-    silently compared only the first channel.) *)
+    silently compared only the first channel.)
+
+    When a compute budget truncates either transient
+    ([Ode.Types.solution.partial]) the comparison covers the common
+    prefix of the two sample grids. *)
 
 val plot_comparison : comparison -> string
 (** Terminal plot of a comparison (first output channel). *)

@@ -182,6 +182,9 @@ let tri_solve ?(mu = 0.0) (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t)
   (* solve the block starting at [off] of order [k] with shift
      [sre + i*sim], in place *)
   let rec go ~k ~off ~sre ~sim =
+    (* one deadline poll per tensor block (tile): O(n^k) arithmetic per
+       poll amortizes the clock read into noise *)
+    Robust.Budget.check "la.Ksolve.tri_solve";
     if k = 1 then
       for i = n - 1 downto 0 do
         let accr = ref yre.(off + i) and acci = ref yim.(off + i) in

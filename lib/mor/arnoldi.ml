@@ -43,6 +43,22 @@ let run ?recorder ?(context = "arnoldi.run") ~(matvec : Vec.t -> Vec.t)
   in
   (try
      while !j < k do
+       (* Budget poll: past the deadline (or the iteration allowance)
+          the j+1 columns built so far are still an orthonormal Krylov
+          basis matching as many moments, so truncate exactly like a
+          breakdown — anytime semantics. *)
+       (match
+          try
+            Robust.Budget.tick_arnoldi_iter "mor.Arnoldi.run";
+            None
+          with Robust.Error.Error e -> Some e
+        with
+       | None -> ()
+       | Some e ->
+         Robust.Report.record_opt recorder ~action:"degrade:truncate-basis" e;
+         breakdown := true;
+         incr j;
+         raise Exit);
        Obs.Metrics.incr Obs.Metrics.Arnoldi_iter;
        let w = matvec vs.(!j) in
        (* A non-finite operator application (faulty matvec, overflow)

@@ -43,10 +43,13 @@ let require_orders ctx (orders : orders) =
 
 let reduce_loc = Robust.Error.loc ~subsystem:"mor" ~operation:"Atmor.reduce"
 
-(* One moment-generation attempt at a fixed (orders, expansion point). *)
+(* One moment-generation attempt at a fixed (orders, expansion point).
+   The [orders] carried by a successful attempt are the ones actually
+   realized: a compute budget spent after H1 drops the higher blocks
+   in place (best-so-far ROM) rather than failing the attempt. *)
 type attempt =
-  | Clean of Vec.t list  (* finite moments, no recovery events *)
-  | Usable of Vec.t list * Robust.Error.t  (* finite, but recovered *)
+  | Clean of Vec.t list * orders  (* finite moments, no recovery events *)
+  | Usable of Vec.t list * orders * Robust.Error.t  (* finite, recovered *)
   | Failed of Robust.Error.t
 
 (* Graceful degradation: candidate expansion points from the policy's
@@ -91,17 +94,46 @@ let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
   let attempt eff cand =
     let mark = Robust.Report.mark rec0 in
     match
+      (* budget poll between candidates: once the deadline is spent,
+         every remaining attempt fails fast here and the level loop
+         falls through to the best usable result so far *)
+      Robust.Budget.check "mor.Atmor.reduce";
       let eng = Assoc.create ~recorder:rec0 ~policy ?fault ~s0:cand q in
       let m1 = if eff.k1 > 0 then Assoc.h1_moments eng ~k:eff.k1 else [] in
-      let m2 = if eff.k2 > 0 then Assoc.h2_moments eng ~k:eff.k2 else [] in
-      let m3 =
-        if eff.k3 > 0 then Assoc.h3_moments ~triples_mode:h3_triples eng ~k:eff.k3
+      (* Anytime semantics: a budget spent after H1 succeeded keeps the
+         blocks already generated — the best-so-far lower-order ROM —
+         instead of discarding the attempt; the dropped block is
+         recorded so the result reports degraded. Other failures (and
+         a budget spent before any moment exists) still fail the
+         attempt. *)
+      let realized = ref eff in
+      let best_effort what drop f =
+        match f () with
+        | v -> v
+        | exception Robust.Error.Error e
+          when Robust.Budget.is_budget_error e && m1 <> [] ->
+          Robust.Report.record rec0 ~action:("degrade:" ^ what) e;
+          realized := drop !realized;
+          []
+      in
+      let m2 =
+        if eff.k2 > 0 then
+          best_effort "h2"
+            (fun o -> { o with k2 = 0 })
+            (fun () -> Assoc.h2_moments eng ~k:eff.k2)
         else []
       in
-      m1 @ m2 @ m3
+      let m3 =
+        if eff.k3 > 0 then
+          best_effort "h3"
+            (fun o -> { o with k3 = 0 })
+            (fun () -> Assoc.h3_moments ~triples_mode:h3_triples eng ~k:eff.k3)
+        else []
+      in
+      (m1 @ m2 @ m3, !realized)
     with
-    | [] -> invalid_arg "Atmor.reduce: no moments requested"
-    | vectors ->
+    | [], _ -> invalid_arg "Atmor.reduce: no moments requested"
+    | vectors, realized ->
       if not (List.for_all Vec.is_finite vectors) then
         Failed
           (Robust.Error.Contract_violation
@@ -111,9 +143,10 @@ let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
              })
       else begin
         match Robust.Report.since rec0 mark with
-        | [] -> Clean vectors
+        | [] -> Clean (vectors, realized)
         | events ->
-          Usable (vectors, (List.nth events (List.length events - 1)).error)
+          Usable
+            (vectors, realized, (List.nth events (List.length events - 1)).error)
       end
     | exception exn -> (
       match Ladder.classify ~loc:reduce_loc exn with
@@ -130,9 +163,9 @@ let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
             | [] -> (
               (* candidates exhausted at this level *)
               match !usable with
-              | Some (v, s, err) ->
+              | Some (v, s, realized, err) ->
                 Robust.Report.record rec0 ~action:"accept-fallback" err;
-                raise (Accepted (v, s, eff))
+                raise (Accepted (v, s, realized))
               | None -> (
                 match !last_err with
                 | None -> ()
@@ -146,9 +179,9 @@ let reduce ?recorder ?policy ?fault ?s0 ?(tol = 1e-8) ?(h3_triples = `All)
             | cand :: rest ->
               incr attempts;
               (match attempt eff cand with
-              | Clean v -> raise (Accepted (v, cand, eff))
-              | Usable (v, err) ->
-                if !usable = None then usable := Some (v, cand, err)
+              | Clean (v, realized) -> raise (Accepted (v, cand, realized))
+              | Usable (v, realized, err) ->
+                if !usable = None then usable := Some (v, cand, realized, err)
               | Failed err -> (
                 last_err := Some err;
                 match rest with
@@ -201,6 +234,7 @@ let reduce_multipoint ?recorder ?(tol = 1e-8) ?(h3_triples = `All)
   let vectors =
     List.concat_map
       (fun s0 ->
+        Robust.Budget.check "mor.Atmor.reduce_multipoint";
         let eng = Assoc.create ~recorder:rec0 ~s0 q in
         let m1 = if orders.k1 > 0 then Assoc.h1_moments eng ~k:orders.k1 else [] in
         let m2 = if orders.k2 > 0 then Assoc.h2_moments eng ~k:orders.k2 else [] in
@@ -270,6 +304,7 @@ let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
       let start = Vec.sub d (Mat.mul_vec pi w) in
       let branch1 =
         let rec go v j acc =
+          Robust.Budget.check "mor.Atmor.reduce_sylvester";
           if j >= orders.k2 then List.rev acc
           else begin
             let v' = Lu.solve mlu v in
@@ -282,6 +317,7 @@ let reduce_sylvester ?s0 ?(tol = 1e-8) ~(orders : orders) (q : Qldae.t) :
       let ks = Ksolve.of_schur ~n schur in
       let branch2 =
         let rec go v j acc =
+          Robust.Budget.check "mor.Atmor.reduce_sylvester";
           if j >= orders.k2 then List.rev acc
           else begin
             let v' = Ksolve.solve_shifted_real ks ~k:2 ~sigma:s0v v in

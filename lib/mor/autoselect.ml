@@ -92,6 +92,9 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
           if usable = None then Some (cand, err) else usable
         in
         match
+          (* budget poll between probe candidates: post-deadline
+             candidates fail fast into the classified path below *)
+          Robust.Budget.check "mor.Autoselect.reduce";
           let eng = Assoc.create ~recorder:rec0 ~policy ~s0:cand q in
           List.for_all Vec.is_finite (Assoc.h1_moments eng ~k:1)
         with
@@ -147,6 +150,15 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
       let chosen = ref 0 in
       (try
          for step = 0 to kmax - 1 do
+           (* anytime growth: steps kept so far are a valid (smaller)
+              orthonormal basis, so a spent budget truncates the series
+              instead of dropping the whole block *)
+           (match Robust.Budget.poll "mor.Autoselect.reduce" with
+           | None -> ()
+           | Some e when !chosen > 0 ->
+             Robust.Report.record rec0 ~action:"degrade:truncate-series" e;
+             raise Exit
+           | Some e -> Robust.Error.raise_error e);
            let any_fresh = ref false in
            List.iter
              (fun s ->
@@ -175,6 +187,7 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
      numerical error, injected fault) is dropped to zero moments — the
      lower orders still yield a ROM, and the report says what
      happened. *)
+  let last_block_err = ref None in
   let grow_block what ~kmax moments_upto =
     match grow ~kmax moments_upto with
     | k -> k
@@ -182,6 +195,12 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
       match Ladder.classify ~loc:reduce_loc exn with
       | None -> raise exn
       | Some err ->
+        (* remember what killed the blocks; a budget failure wins so an
+           all-blocks-spent run surfaces as budget exhaustion (exit 5),
+           not a generic numerical error *)
+        (match !last_block_err with
+        | Some e when Robust.Budget.is_budget_error e -> ()
+        | _ -> last_block_err := Some err);
         Robust.Report.record rec0 ~action:("degrade:" ^ what) err;
         0)
   in
@@ -228,11 +247,14 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
            attempts = 1;
            last =
              Some
-               (Robust.Error.Contract_violation
-                  {
-                    loc = reduce_loc;
-                    detail = "every moment series failed; no basis";
-                  });
+               (match !last_block_err with
+               | Some e -> e
+               | None ->
+                 Robust.Error.Contract_violation
+                   {
+                     loc = reduce_loc;
+                     detail = "every moment series failed; no basis";
+                   });
          });
   let v = Mat.of_cols (List.rev !basis) in
   let rom = Qldae.project q v in

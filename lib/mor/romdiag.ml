@@ -151,6 +151,10 @@ let freq_sweep ?(omegas = default_omegas) ~s0 ~(full : Qldae.t)
           (List.filter_map
              (fun omega ->
                protect (fun () ->
+                   (* budget poll per sweep point; [protect] swallows
+                      the raise, so a spent budget drops the remaining
+                      points instead of failing the diagnostic *)
+                   Robust.Budget.check "mor.Romdiag.freq_sweep";
                    let sigma = { Complex.re = s0; im = omega } in
                    let err2, ref2 = h1_gap ~ks_full ~ks_rom ~full ~rom sigma in
                    Option.map (fun r -> (omega, r)) (relative ~err2 ~ref2)))

@@ -26,8 +26,9 @@ type counter =
   | Newton_iter
   | Ladder_attempt
   | Recovery_event
+  | Budget_poll
 
-let n_counters = 11
+let n_counters = 12
 
 let index = function
   | Lu_factor -> 0
@@ -41,6 +42,7 @@ let index = function
   | Newton_iter -> 8
   | Ladder_attempt -> 9
   | Recovery_event -> 10
+  | Budget_poll -> 11
 
 let name = function
   | Lu_factor -> "lu_factor"
@@ -54,11 +56,12 @@ let name = function
   | Newton_iter -> "newton_iter"
   | Ladder_attempt -> "ladder_attempt"
   | Recovery_event -> "recovery_event"
+  | Budget_poll -> "budget_poll"
 
 let all =
   [ Lu_factor; Lu_solve; Shifted_solve; Matvec; Arnoldi_iter;
     Deflation_discard; Ode_step; Ode_rejected; Newton_iter;
-    Ladder_attempt; Recovery_event ]
+    Ladder_attempt; Recovery_event; Budget_poll ]
 
 let mu = Mutex.create ()
 

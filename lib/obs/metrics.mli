@@ -27,6 +27,7 @@ type counter =
   | Newton_iter        (** Newton iterations inside implicit integrators *)
   | Ladder_attempt     (** solver fallback-ladder rung executions *)
   | Recovery_event     (** events recorded via [Robust.Report] *)
+  | Budget_poll        (** slow-path budget polls ([Robust.Budget]) *)
 
 val all : counter list
 (** Every counter, in rendering order. *)

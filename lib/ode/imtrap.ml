@@ -42,10 +42,21 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
     cache := Some (step_h, lu);
     lu
   in
-  for i = 1 to samples - 1 do
-    let target = times.(i) in
-    while !t < target -. 1e-14 *. Float.abs target do
-      let step_h = Float.min h (target -. !t) in
+  (* Budget truncation: a spent compute budget ends the integration at
+     the last completed sample; the prefix is returned flagged
+     [partial]. The Newton loop below is left unpolled — it is bounded
+     by [max_newton], so at most one step's worth of work follows a
+     poll. *)
+  let filled = ref 1 and stopped = ref false in
+  (try
+     for i = 1 to samples - 1 do
+       let target = times.(i) in
+       while !t < target -. 1e-14 *. Float.abs target do
+         if Robust.Budget.tick_ode_step "ode.Imtrap.integrate" <> None then begin
+           stopped := true;
+           raise Exit
+         end;
+         let step_h = Float.min h (target -. !t) in
       let tn = !t and tn1 = !t +. step_h in
       let fn = sys.Types.rhs tn !x in
       stats.Types.rhs_evals <- stats.Types.rhs_evals + 1;
@@ -55,7 +66,7 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
         let z = ref (Vec.add !x (Vec.scale step_h fn)) in
         let converged = ref false in
         let iters = ref 0 in
-        while (not !converged) && !iters < max_newton do
+        (while (not !converged) && !iters < max_newton do
           incr iters;
           stats.Types.newton_iters <- stats.Types.newton_iters + 1;
           Obs.Metrics.incr Obs.Metrics.Newton_iter;
@@ -69,7 +80,10 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
           Vec.axpy ~alpha:(-1.0) delta !z;
           if Vec.norm2 delta <= newton_tol *. (1.0 +. Vec.norm2 !z) then
             converged := true
-        done;
+        done)
+        [@vmor.unbudgeted
+          "bounded by max_newton; at most one step's Newton solve trails \
+           the per-step budget poll"];
         (!z, !converged, !iters)
       in
       let lu, fresh =
@@ -102,7 +116,16 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
       Obs.Metrics.incr Obs.Metrics.Ode_step;
       x := z;
       t := tn1
-    done;
-    states.(i) <- Vec.copy !x
-  done;
-  { Types.times; states; stats }
+       done;
+       states.(i) <- Vec.copy !x;
+       filled := i + 1
+     done
+   with Exit -> ());
+  if not !stopped then { Types.times; states; stats; partial = false }
+  else
+    {
+      Types.times = Array.sub times 0 !filled;
+      states = Array.sub states 0 !filled;
+      stats;
+      partial = true;
+    }

@@ -28,16 +28,34 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h ~samples :
   let states = Array.make samples x0 in
   let x = ref (Vec.copy x0) and t = ref t0 in
   states.(0) <- Vec.copy x0;
-  for i = 1 to samples - 1 do
-    let target = times.(i) in
-    while !t < target -. 1e-14 *. Float.abs target do
-      let step_h = Float.min h (target -. !t) in
-      x := step sys stats !t step_h !x;
-      if not (Vec.is_finite !x) then
-        raise (Types.Step_failure
-                 (Printf.sprintf "Rk4: non-finite state at t=%.6g" !t));
-      t := !t +. step_h
-    done;
-    states.(i) <- Vec.copy !x
-  done;
-  { Types.times; states; stats }
+  (* Budget truncation: on a spent budget stop stepping and return the
+     samples integrated so far flagged [partial] — a shorter valid
+     series, not an exception. *)
+  let filled = ref 1 and stopped = ref false in
+  (try
+     for i = 1 to samples - 1 do
+       let target = times.(i) in
+       while !t < target -. 1e-14 *. Float.abs target do
+         if Robust.Budget.tick_ode_step "ode.Rk4.integrate" <> None then begin
+           stopped := true;
+           raise Exit
+         end;
+         let step_h = Float.min h (target -. !t) in
+         x := step sys stats !t step_h !x;
+         if not (Vec.is_finite !x) then
+           raise (Types.Step_failure
+                    (Printf.sprintf "Rk4: non-finite state at t=%.6g" !t));
+         t := !t +. step_h
+       done;
+       states.(i) <- Vec.copy !x;
+       filled := i + 1
+     done
+   with Exit -> ());
+  if not !stopped then { Types.times; states; stats; partial = false }
+  else
+    {
+      Types.times = Array.sub times 0 !filled;
+      states = Array.sub states 0 !filled;
+      stats;
+      partial = true;
+    }

@@ -103,11 +103,22 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
     Robust.Report.record_opt recorder ~action:"exhausted" err;
     raise (Types.Step_failure (Printf.sprintf "Rkf45: %s at t=%.6g" detail !t))
   in
-  for i = 1 to samples - 1 do
-    let target = times.(i) in
-    while !t < target -. 1e-14 *. Float.abs target do
-      if stats.steps + stats.rejected >= max_steps then
-        fail (Printf.sprintf "step budget (%d) exhausted" max_steps);
+  (* Budget truncation: a spent compute budget stops the integration at
+     the last completed sample and returns the prefix flagged [partial]
+     rather than raising — anytime semantics for the transient solver. *)
+  let filled = ref 1 and stopped = ref false in
+  (try
+     for i = 1 to samples - 1 do
+       let target = times.(i) in
+       while !t < target -. 1e-14 *. Float.abs target do
+         (match Robust.Budget.tick_ode_step "ode.Rkf45.integrate" with
+         | None -> ()
+         | Some e ->
+           Robust.Report.record_opt recorder ~action:"degrade:partial-series" e;
+           stopped := true;
+           raise Exit);
+         if stats.steps + stats.rejected >= max_steps then
+           fail (Printf.sprintf "step budget (%d) exhausted" max_steps);
       let step_h = Float.min !h (target -. !t) in
       let x5, err = attempt sys stats !t step_h !x in
       (* weighted RMS error norm *)
@@ -160,8 +171,17 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ?(rtol = default_rtol)
         in
         h := Float.min hmax (Float.max hmin (step_h *. factor))
       end
-    done;
-    states.(i) <- Vec.copy !x
-  done;
+       done;
+       states.(i) <- Vec.copy !x;
+       filled := i + 1
+     done
+   with Exit -> ());
   close_streak ();
-  { Types.times; states; stats }
+  if not !stopped then { Types.times; states; stats; partial = false }
+  else
+    {
+      Types.times = Array.sub times 0 !filled;
+      states = Array.sub states 0 !filled;
+      stats;
+      partial = true;
+    }

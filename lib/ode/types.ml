@@ -24,6 +24,9 @@ type solution = {
   times : float array;
   states : Vec.t array;  (* states.(i) is x(times.(i)) *)
   stats : stats;
+  partial : bool;  (* true when a compute budget truncated the series
+                      before t1; times/states cover only the integrated
+                      prefix of the sample grid *)
 }
 
 let output_component sol ~index = Array.map (fun x -> x.(index)) sol.states

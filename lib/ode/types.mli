@@ -24,6 +24,10 @@ type solution = {
   times : float array;
   states : Vec.t array;  (** [states.(i)] is [x(times.(i))] *)
   stats : stats;
+  partial : bool;
+      (** [true] when a compute budget ({!Robust.Budget}) truncated the
+          series before [t1]: [times]/[states] cover only the
+          integrated prefix of the requested sample grid. *)
 }
 
 (** Time series of one state component. *)

@@ -33,6 +33,12 @@ type t =
   | Budget_exhausted of { loc : location; attempts : int; last : t option }
       (* the retry/fallback policy ran out of attempts; [last] is the
          final underlying failure *)
+  | Budget_exceeded of
+      { loc : location; resource : string; used : float; limit : float }
+      (* a compute budget ran out mid-kernel: [resource] is
+         "deadline" | "ode-steps" | "arnoldi-iters" | "ladder-attempts",
+         [used]/[limit] in that resource's unit (absolute Clock seconds
+         for the deadline, counts otherwise) *)
 
 exception Error of t
 
@@ -45,7 +51,8 @@ let location = function
   | Non_hurwitz { loc; _ }
   | Contract_violation { loc; _ }
   | Convergence_failure { loc; _ }
-  | Budget_exhausted { loc; _ } ->
+  | Budget_exhausted { loc; _ }
+  | Budget_exceeded { loc; _ } ->
     loc
 
 let kind = function
@@ -56,6 +63,7 @@ let kind = function
   | Contract_violation _ -> "contract-violation"
   | Convergence_failure _ -> "convergence-failure"
   | Budget_exhausted _ -> "budget-exhausted"
+  | Budget_exceeded _ -> "budget-exceeded"
 
 let location_string l = l.subsystem ^ "." ^ l.operation
 
@@ -86,6 +94,9 @@ let rec to_string err =
     @@ (match last with
        | Some e -> "; last failure: " ^ to_string e
        | None -> "")
+  | Budget_exceeded { resource; used; limit; _ } ->
+    Printf.sprintf "%s: %s budget exceeded (used %g of %g)" at resource used
+      limit
 
 let raise_error err = raise (Error err)
 

@@ -29,6 +29,13 @@ type t =
   | Budget_exhausted of { loc : location; attempts : int; last : t option }
       (** The retry/fallback policy ran out of attempts; [last] is the
           final underlying failure. *)
+  | Budget_exceeded of
+      { loc : location; resource : string; used : float; limit : float }
+      (** A compute budget ({!Budget}) ran out mid-kernel. [resource]
+          is ["deadline"], ["ode-steps"], ["arnoldi-iters"] or
+          ["ladder-attempts"]; [used]/[limit] are in that resource's
+          unit (absolute [Obs.Clock] seconds for the deadline, counts
+          otherwise). *)
 
 exception Error of t
 (** The exception form, for call sites that cannot return [result]. A

@@ -12,7 +12,7 @@
    loops recreate engines, and each attempt must see the same fault
    schedule). *)
 
-type fault = Nan | Inf | Zero | Perturb of float
+type fault = Nan | Inf | Zero | Perturb of float | Stall of float
 
 type plan = { fault : fault; on_call : int; persist : bool }
 
@@ -33,15 +33,27 @@ let fault_name = function
   | Inf -> "inf"
   | Zero -> "zero"
   | Perturb _ -> "perturb"
+  | Stall _ -> "stall"
 
 let corrupt fault (v : float array) : float array =
-  let out = Array.copy v in
-  (match fault with
-  | Nan -> if Array.length out > 0 then out.(0) <- Float.nan
-  | Inf -> if Array.length out > 0 then out.(0) <- Float.infinity
-  | Zero -> Array.fill out 0 (Array.length out) 0.0
-  | Perturb eps -> Array.iteri (fun i x -> out.(i) <- x *. (1.0 +. eps)) out);
-  out
+  match fault with
+  | Stall dt ->
+      (* A stall leaves the payload untouched: the "corruption" is
+         virtual wall-clock skew, so the next deadline poll after this
+         scheduled call observes the budget spent — deterministic
+         cancellation with no real sleeps. *)
+      Budget.advance_skew dt;
+      v
+  | _ ->
+      let out = Array.copy v in
+      (match fault with
+      | Nan -> if Array.length out > 0 then out.(0) <- Float.nan
+      | Inf -> if Array.length out > 0 then out.(0) <- Float.infinity
+      | Zero -> Array.fill out 0 (Array.length out) 0.0
+      | Perturb eps ->
+          Array.iteri (fun i x -> out.(i) <- x *. (1.0 +. eps)) out
+      | Stall _ -> ());
+      out
 
 let inject t (v : float array) : float array =
   t.calls <- t.calls + 1;

@@ -8,9 +8,13 @@
     - [Nan]: first component set to NaN
     - [Inf]: first component set to infinity
     - [Zero]: output zeroed (a rank-collapse / singular surrogate)
-    - [Perturb eps]: every component scaled by [1 + eps] *)
+    - [Perturb eps]: every component scaled by [1 + eps]
+    - [Stall dt]: output untouched, but the virtual clock advances by
+      [dt] seconds ({!Budget.advance_skew}), so the next deadline poll
+      observes the budget spent — deterministic cancellation testing
+      with no real sleeps *)
 
-type fault = Nan | Inf | Zero | Perturb of float
+type fault = Nan | Inf | Zero | Perturb of float | Stall of float
 
 type plan = { fault : fault; on_call : int; persist : bool }
 
@@ -30,7 +34,7 @@ val fired : t -> int
 (** Corrupted calls so far. *)
 
 val fault_name : fault -> string
-(** "nan" | "inf" | "zero" | "perturb". *)
+(** "nan" | "inf" | "zero" | "perturb" | "stall". *)
 
 val inject : t -> float array -> float array
 (** Count one call and corrupt the payload if scheduled (on a copy —

@@ -55,7 +55,14 @@ let nudges t s0 =
 (* Run [rungs] in order until one returns a value accepted by
    [validate]. Failures recognized by [classify] are recorded (action
    "fallback:<next>" or "exhausted") and trigger escalation; foreign
-   exceptions propagate. *)
+   exceptions propagate.
+
+   The ambient compute budget gates every rung: when the deadline (or
+   the ladder-attempt allowance) is already spent, remaining rungs are
+   not attempted — retrying on attempt count alone could overshoot a
+   deadline the first rung has blown. The budget failure becomes the
+   terminal [last] so the caller (and the CLI's exit-code mapping) can
+   tell a budget halt from plain rung exhaustion. *)
 let run_ladder ?recorder ~(loc : Error.location)
     ~(classify : exn -> Error.t option) ?validate
     (rungs : (string * (unit -> 'a)) list) : ('a, Error.t) result =
@@ -63,23 +70,28 @@ let run_ladder ?recorder ~(loc : Error.location)
   let rec go attempts last = function
     | [] -> Result.Error (Error.Budget_exhausted { loc; attempts; last })
     | (name, f) :: rest -> (
-      let action =
-        match rest with
-        | (next, _) :: _ -> "fallback:" ^ next
-        | [] -> "exhausted"
-      in
-      let fail err =
-        Report.record_opt recorder ~action err;
-        go (attempts + 1) (Some err) rest
-      in
-      match f () with
-      | x ->
-        if valid x then Ok x
-        else
-          fail
-            (Error.Contract_violation
-               { loc; detail = name ^ " produced an invalid result" })
-      | exception exn -> (
-        match classify exn with None -> raise exn | Some err -> fail err))
+      match Budget.tick_ladder_attempt (Error.location_string loc) with
+      | Some err ->
+        Report.record_opt recorder ~action:"budget:stop-retries" err;
+        Result.Error (Error.Budget_exhausted { loc; attempts; last = Some err })
+      | None -> (
+        let action =
+          match rest with
+          | (next, _) :: _ -> "fallback:" ^ next
+          | [] -> "exhausted"
+        in
+        let fail err =
+          Report.record_opt recorder ~action err;
+          go (attempts + 1) (Some err) rest
+        in
+        match f () with
+        | x ->
+          if valid x then Ok x
+          else
+            fail
+              (Error.Contract_violation
+                 { loc; detail = name ^ " produced an invalid result" })
+        | exception exn -> (
+          match classify exn with None -> raise exn | Some err -> fail err)))
   in
   go 0 None rungs

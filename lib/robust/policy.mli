@@ -38,4 +38,10 @@ val run_ladder :
     failure is recorded against [recorder] (action ["fallback:<next>"],
     or ["exhausted"] on the last rung) before escalating. Unrecognized
     exceptions propagate. Returns [Error (Budget_exhausted ...)] when
-    every rung fails. *)
+    every rung fails.
+
+    The ambient {!Budget} gates every rung: once the deadline or the
+    ladder-attempt allowance is spent, remaining rungs are not
+    attempted (action ["budget:stop-retries"]) and the result is
+    [Error (Budget_exhausted ...)] whose [last] is the
+    [Budget_exceeded] failure. *)

@@ -33,6 +33,12 @@ let error_factor = 2.0
    flagging (a copy in a hot loop) blows well past 25%. *)
 let gc_tolerance = 0.25
 
+(* Overhead percentages (budget polling) are ratios of two wall times,
+   so they jitter like wall times do; the band is an absolute
+   percentage-point allowance over the pinned baseline, not a relative
+   one (a 0.1% baseline doubling to 0.2% is noise, not a regression). *)
+let overhead_slack = 1.0  (* percentage points *)
+
 type rom = {
   method_name : string;
   order : int;
@@ -51,7 +57,13 @@ type experiment = {
   roms : rom list;
 }
 
-type bench = { scale : float; experiments : experiment list }
+type bench = {
+  scale : float;
+  experiments : experiment list;
+  overheads : (string * float) list;
+      (* instrumentation-overhead percentages (budget polling, …):
+         wall-derived, so banded only when wall checks are on *)
+}
 
 exception Bad_bench of string
 
@@ -93,6 +105,10 @@ let parse (src : string) : bench =
     {
       scale = to_num (member_exn "scale" json);
       experiments = List.map experiment (to_arr (member_exn "experiments" json));
+      overheads =
+        (match member "overheads" json with
+        | Some o -> List.map (fun (k, v) -> (k, to_num v)) (to_obj o)
+        | None -> []);
     }
   with Parse_error m -> bad "bad bench schema: %s" m
 
@@ -285,6 +301,40 @@ let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
           structural ~where:new_e.id ~metric:"experiment"
             ~baseline:"absent (refresh baseline)" ~current:"present" acc)
       acc fresh.experiments
+  in
+  (* overhead bands are wall-derived: skipped with --ignore-wall just
+     like the experiment wall times *)
+  let acc =
+    if ignore_wall then acc
+    else
+      let acc =
+        List.fold_left
+          (fun acc (name, old_p) ->
+            match List.assoc_opt name fresh.overheads with
+            | None ->
+              structural ~where:"(overheads)" ~metric:name ~baseline:"present"
+                ~current:"missing" acc
+            | Some new_p ->
+              if new_p > old_p +. overhead_slack then
+                {
+                  where = "(overheads)";
+                  metric = name;
+                  baseline = Printf.sprintf "%.2f%%" old_p;
+                  current = Printf.sprintf "%.2f%%" new_p;
+                  allowed =
+                    Printf.sprintf "<= baseline + %.1fpt" overhead_slack;
+                }
+                :: acc
+              else acc)
+          acc baseline.overheads
+      in
+      List.fold_left
+        (fun acc (name, _) ->
+          if List.mem_assoc name baseline.overheads then acc
+          else
+            structural ~where:"(overheads)" ~metric:name
+              ~baseline:"absent (refresh baseline)" ~current:"present" acc)
+        acc fresh.overheads
   in
   List.rev acc
 

@@ -1,0 +1,36 @@
+(* unbudgeted-loop fixture: lib/ode is a budget-mandatory kernel
+   directory, so unannotated loops that never poll Robust.Budget are
+   violations; polled or [@vmor.unbudgeted]-annotated loops are not. *)
+
+let bad_while n =
+  let i = ref 0 in
+  while !i < n do
+    incr i
+  done;
+  !i
+
+let rec bad_rec n = if n = 0 then 0 else bad_rec (n - 1)
+
+let good_while n =
+  let i = ref 0 in
+  while !i < n do
+    Robust.Budget.check "fixture.good_while";
+    incr i
+  done;
+  !i
+
+let rec good_rec n =
+  match Budget.tick_ode_step "fixture.good_rec" with
+  | Some _ -> n
+  | None -> if n = 0 then 0 else good_rec (n - 1)
+
+let annotated_while n =
+  let i = ref 0 in
+  (while !i < n do
+     incr i
+   done)
+  [@vmor.unbudgeted "bounded by n"];
+  !i
+
+let rec annotated_rec n = if n = 0 then 0 else annotated_rec (n - 1)
+  [@@vmor.unbudgeted "structural recursion on n"]

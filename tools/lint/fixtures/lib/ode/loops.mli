@@ -1,0 +1,6 @@
+val bad_while : int -> int
+val bad_rec : int -> int
+val good_while : int -> int
+val good_rec : int -> int
+val annotated_while : int -> int
+val annotated_rec : int -> int

@@ -55,6 +55,11 @@ let rules =
     ("unsync-global-write",
      "write to module-level mutable state in lib/ outside a sync \
       boundary (Mutex.protect)");
+    ("unbudgeted-loop",
+     "while / let-rec loop in a budget-mandatory kernel file \
+      (lib/la/ksolve.ml, lib/mor/arnoldi.ml, lib/ode/) that never \
+      polls Robust.Budget; annotate [@vmor.unbudgeted \"reason\"] if \
+      structurally bounded");
     ("stale-allowlist",
      "an allowlist entry that matches zero findings; exemptions must \
       not outlive their justification");
@@ -235,6 +240,75 @@ let check_expression ctx path (e : expression) =
          (Printf.sprintf "%s in library code; return strings or use Format \
                           with an explicit formatter" (String.concat "." name))
    | _ -> ())
+
+(* ---------- unbudgeted-loop ---------- *)
+
+(* Kernel files whose hot loops must cooperate with the compute budget
+   (DESIGN.md §13): the shifted Kronecker back-substitution, the
+   Arnoldi iteration, and every ODE integrator. *)
+let budget_mandatory path =
+  (in_lib_la path && basename path = "ksolve.ml")
+  ||
+  match after_lib path with
+  | Some [ "mor"; "arnoldi.ml" ] -> true
+  | Some [ "ode"; _ ] -> true
+  | _ -> false
+
+(* [@vmor.unbudgeted "reason"] exempts one loop: the annotation is the
+   documented claim that the loop is structurally bounded (so at most a
+   bounded amount of work trails the nearest enclosing poll). *)
+let unbudgeted_attr (attrs : attributes) =
+  List.exists
+    (fun (a : attribute) ->
+      a.attr_name.txt = "vmor.unbudgeted" || a.attr_name.txt = "unbudgeted")
+    attrs
+
+(* Does the expression mention any [Budget] ident
+   (Robust.Budget.check, Budget.tick_ode_step, ...)? *)
+let mentions_budget (e : expression) =
+  let found = ref false in
+  iter_sub_expressions e (fun e' ->
+      match e'.pexp_desc with
+      | Pexp_ident { txt; _ } when List.mem "Budget" (Longident.flatten txt) ->
+          found := true
+      | _ -> ());
+  !found
+
+let check_unbudgeted_loops ctx path (str : structure) =
+  let report_loop what line =
+    report ctx path line "unbudgeted-loop"
+      (Printf.sprintf
+         "%s in a budget-mandatory kernel file never polls the compute \
+          budget; call Robust.Budget.check / tick_* inside the loop, or \
+          annotate [@vmor.unbudgeted \"reason\"] if it is structurally \
+          bounded" what)
+  in
+  let check_rec_binding (vb : value_binding) =
+    if
+      (not (unbudgeted_attr vb.pvb_attributes))
+      && not (mentions_budget vb.pvb_expr)
+    then
+      let name =
+        match binding_name vb with Some n -> "'" ^ n ^ "'" | None -> "" in
+      report_loop
+        (Printf.sprintf "recursive function %s" name)
+        (line_of vb.pvb_loc)
+  in
+  iter_expressions str (fun e ->
+      match e.pexp_desc with
+      | Pexp_while (cond, body)
+        when (not (unbudgeted_attr e.pexp_attributes))
+             && not (mentions_budget cond || mentions_budget body) ->
+          report_loop "while loop" (line_of e.pexp_loc)
+      | Pexp_let (Asttypes.Recursive, vbs, _) ->
+          List.iter check_rec_binding vbs
+      | _ -> ());
+  List.iter
+    (fun (item : structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (Asttypes.Recursive, vbs) -> List.iter check_rec_binding vbs
+      | _ -> ())
+    str
 
 (* ---------- shared mutable state: inventory ---------- *)
 
@@ -709,6 +783,7 @@ let check_dim_guards ctx ml_path (str : structure) (intf : signature) =
    sibling interface when one exists. *)
 let lint_impl ctx path (str : structure) (intf : signature option) =
   iter_expressions str (check_expression ctx path);
+  if budget_mandatory path then check_unbudgeted_loops ctx path str;
   if in_lib path then begin
     check_shared_state ctx path str;
     match intf with
