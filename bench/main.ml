@@ -70,6 +70,12 @@ let json_escape = Obs.Json.escape
    pinned alongside the experiments so the bench gate can band them. *)
 let budget_overheads : (string * float) list ref = ref []
 
+(* Vmor.Par wall times on the fig3-style reduction (par_speedup pass
+   below): serial plus 1/2/4 domains, with the host's usable core
+   count so the gate only holds the speedup line on machines that can
+   actually show one. *)
+let par_stats : (int * (string * float) list) option ref = ref None
+
 let write_bench_json ?json_path ~scale () =
   match List.rev !bench_records with
   | [] -> ()
@@ -126,19 +132,30 @@ let write_bench_json ?json_path ~scale () =
         Buffer.add_string b
           (if i = n - 1 then "    }\n" else "    },\n"))
       records;
+    Buffer.add_string b "  ]";
     (match !budget_overheads with
-    | [] -> Buffer.add_string b "  ]\n"
+    | [] -> ()
     | ohs ->
-      Buffer.add_string b "  ],\n";
-      Buffer.add_string b "  \"overheads\": {";
+      Buffer.add_string b ",\n  \"overheads\": {";
       List.iteri
         (fun i (name, p) ->
           if i > 0 then Buffer.add_string b ", ";
           Buffer.add_string b
             (Printf.sprintf "\"%s\": %.2f" (json_escape name) p))
         ohs;
-      Buffer.add_string b "}\n");
-    Buffer.add_string b "}\n";
+      Buffer.add_string b "}");
+    (match !par_stats with
+    | None -> ()
+    | Some (cores, walls) ->
+      Buffer.add_string b ",\n  \"par\": {";
+      Buffer.add_string b (Printf.sprintf "\"cores\": %d" cores);
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string b
+            (Printf.sprintf ", \"%s\": %.6f" (json_escape name) v))
+        walls;
+      Buffer.add_string b "}");
+    Buffer.add_string b "\n}\n";
     output_string oc (Buffer.contents b);
     close_out oc;
     Printf.printf "(per-experiment kernel counts written to %s)\n%!" path
@@ -748,6 +765,61 @@ let budget_overhead () =
   close_out oc;
   Printf.printf "(written to %s)\n\n%!" path
 
+(* ---- Vmor.Par speedup ---- *)
+
+(* Wall time of the fig3-style reduction (NLTL, current source — the
+   workload the budget-overhead pass also uses) run serial and under
+   1/2/4 domains through the public Options surface.  Three numbers
+   matter: the 4-domain speedup (the whole point of Vmor.Par), the
+   1-domain overhead (the price every serial user pays for the
+   parallel plumbing; [Some 1] shares the serial code path, so the
+   band is tight), and [cores] — on a host with fewer usable cores
+   than lanes, domains time-slice one CPU and the "speedup" measures
+   scheduler overhead, so the gate records the core count and skips
+   the speedup band when it cannot mean anything. *)
+let par_speedup ~scale () =
+  Printf.printf "== Vmor.Par speedup (fig3 workload, 1/2/4 domains) ==\n%!";
+  let stages = max 4 (int_of_float (35.0 *. scale)) in
+  let q = Circuit.Models.qldae (Circuit.Models.nltl_current ~stages ()) in
+  let orders = { Mor.Atmor.k1 = 4; k2 = 2; k3 = 1 } in
+  let wall domains =
+    let options = Vmor.Options.make ?domains () in
+    time_best ~reps:5 (fun () ->
+        ignore (Sys.opaque_identity (Vmor.reduce ~options ~orders q)))
+  in
+  let serial = wall None in
+  let w1 = wall (Some 1) in
+  let w2 = wall (Some 2) in
+  let w4 = wall (Some 4) in
+  let cores = Vmor.Par.recommended_domains () in
+  let speedup4 = serial /. w4 in
+  let overhead1 = 100.0 *. (w1 -. serial) /. serial in
+  par_stats :=
+    Some
+      ( cores,
+        [
+          ("serial_wall", serial);
+          ("wall_1", w1);
+          ("wall_2", w2);
+          ("wall_4", w4);
+          ("speedup_4", speedup4);
+          ("overhead_1_pct", overhead1);
+        ] );
+  ensure_out_dir ();
+  let path = Filename.concat out_dir "par_speedup.csv" in
+  let oc = open_out path in
+  output_string oc "domains,wall_s,speedup\n";
+  Printf.fprintf oc "serial,%.6f,1.00\n" serial;
+  List.iter
+    (fun (n, w) -> Printf.fprintf oc "%d,%.6f,%.2f\n" n w (serial /. w))
+    [ (1, w1); (2, w2); (4, w4) ];
+  close_out oc;
+  Printf.printf
+    "  %d usable core(s); serial %.4fs  1d %.4fs (%+.1f%%)  2d %.4fs  4d \
+     %.4fs (%.2fx)\n"
+    cores serial w1 overhead1 w2 w4 speedup4;
+  Printf.printf "(written to %s)\n\n%!" path
+
 let ablations ~scale () =
   ablation_block_vs_sylvester ();
   ablation_order_sweep ~scale ();
@@ -780,7 +852,7 @@ let () =
     | [] ->
       [
         "kernels"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "ablation";
-        "recovery"; "obs"; "budget";
+        "recovery"; "obs"; "budget"; "par";
       ]
     | cs -> cs
   in
@@ -801,10 +873,11 @@ let () =
       | "recovery" -> recovery_overhead ()
       | "obs" -> obs_overhead ()
       | "budget" -> budget_overhead ()
+      | "par" -> par_speedup ~scale ()
       | other ->
         Printf.eprintf
           "unknown command %S (expected \
-           kernels|fig2|fig3|fig4|fig5|table1|ablation|recovery|obs|budget)\n"
+           kernels|fig2|fig3|fig4|fig5|table1|ablation|recovery|obs|budget|par)\n"
           other;
         exit 2)
     commands;

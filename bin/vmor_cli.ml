@@ -103,6 +103,31 @@ let max_iters_arg =
   let doc = "Budget: cap on Arnoldi/Krylov basis iterations." in
   Arg.(value & opt (some int) None & info [ "max-iters" ] ~docv:"N" ~doc)
 
+(* ---- parallelism (shared by the reduction-running subcommands) ---- *)
+
+let domains_arg =
+  let doc =
+    "Worker-domain lane count for the parallel kernels (Vmor.Par). \
+     Unset or 1 = serial; up to 64. Results are bit-identical to the \
+     serial run at any lane count."
+  in
+  let env = Cmd.Env.info "VMOR_DOMAINS" ~doc:"See option $(b,--domains)." in
+  Arg.(
+    value & opt (some string) None & info [ "domains" ] ~docv:"N" ~env ~doc)
+
+(* Parsed by hand so a malformed --domains/VMOR_DOMAINS exits 2 like
+   every other flag error, instead of cmdliner's generic 124. *)
+let domains_of = function
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 && n <= 64 -> Some n
+    | _ ->
+      raise
+        (Usage_error
+           (Printf.sprintf
+              "--domains/VMOR_DOMAINS %s: expected an integer in [1, 64]" s)))
+
 (* No budget flags at all = no budget installed; unbudgeted runs stay
    bit-identical to pre-budget behavior. *)
 let budget_of ~deadline ~max_steps ~max_iters : Robust.Budget.t option =
@@ -227,7 +252,7 @@ let build_model ~scale = function
       (Usage_error
          (Printf.sprintf "unknown model %S (expected nltl-v | nltl-i | rf | varistor)" m))
 
-let build_options ~method_ ~points ?s0 ~tol () =
+let build_options ~method_ ~points ?s0 ~tol ?domains () =
   let method_ =
     match method_ with
     | "at" -> Vmor.Associated_transform
@@ -241,7 +266,7 @@ let build_options ~method_ ~points ?s0 ~tol () =
         (Usage_error
            (Printf.sprintf "unknown method %S (expected at | norm | multipoint)" m))
   in
-  Vmor.Options.make ?s0 ~tol ~method_ ()
+  Vmor.Options.make ?s0 ~tol ~method_ ?domains ()
 
 (* A default excitation for simulate/compare/trace: one damped sine on
    every input. *)
@@ -254,14 +279,16 @@ let default_input q ~freq ~amp =
 
 let reduce_cmd =
   let run model orders method_ points s0 tol scale trace metrics deadline
-      max_steps max_iters () =
+      max_steps max_iters domains () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
     Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
     @@ fun () ->
     let q = build_model ~scale model in
     let k1, k2, k3 = orders in
-    let options = build_options ~method_ ~points ?s0 ~tol () in
+    let options =
+      build_options ~method_ ~points ?s0 ~tol ?domains:(domains_of domains) ()
+    in
     let r = Vmor.reduce ~options ~orders:{ k1; k2; k3 } q in
     Printf.printf
       "model %s: %d states -> %d (raw moment vectors %d, s0 = %g, %.2fs)\n"
@@ -274,13 +301,13 @@ let reduce_cmd =
     Term.(
       const
         (fun model orders method_ points s0 tol scale trace metrics deadline
-             max_steps max_iters ->
+             max_steps max_iters domains ->
           guarded
             (run model orders method_ points s0 tol scale trace metrics
-               deadline max_steps max_iters))
+               deadline max_steps max_iters domains))
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
       $ scale_arg $ trace_arg $ metrics_arg $ deadline_arg $ max_steps_arg
-      $ max_iters_arg $ const ())
+      $ max_iters_arg $ domains_arg $ const ())
 
 let simulate_cmd =
   let run model scale t1 samples freq amp trace metrics deadline max_steps
@@ -321,14 +348,16 @@ let simulate_cmd =
 
 let compare_cmd =
   let run model orders method_ points s0 tol scale t1 samples freq amp trace
-      metrics deadline max_steps max_iters () =
+      metrics deadline max_steps max_iters domains () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
     Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
     @@ fun () ->
     let q = build_model ~scale model in
     let k1, k2, k3 = orders in
-    let options = build_options ~method_ ~points ?s0 ~tol () in
+    let options =
+      build_options ~method_ ~points ?s0 ~tol ?domains:(domains_of domains) ()
+    in
     let r = Vmor.reduce ~options ~orders:{ k1; k2; k3 } q in
     let input = default_input q ~freq ~amp in
     let c = Vmor.compare_transient ~samples q r ~input ~t1 in
@@ -354,13 +383,14 @@ let compare_cmd =
     Term.(
       const
         (fun model orders method_ points s0 tol scale t1 samples freq amp trace
-             metrics deadline max_steps max_iters ->
+             metrics deadline max_steps max_iters domains ->
           guarded
             (run model orders method_ points s0 tol scale t1 samples freq amp
-               trace metrics deadline max_steps max_iters))
+               trace metrics deadline max_steps max_iters domains))
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
       $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ trace_arg
-      $ metrics_arg $ deadline_arg $ max_steps_arg $ max_iters_arg $ const ())
+      $ metrics_arg $ deadline_arg $ max_steps_arg $ max_iters_arg
+      $ domains_arg $ const ())
 
 let trace_cmd =
   let out_arg =
@@ -368,7 +398,7 @@ let trace_cmd =
     Arg.(value & opt string "vmor_trace.jsonl" & info [ "o"; "out" ] ~docv:"FILE.jsonl" ~doc)
   in
   let run model orders method_ points s0 tol scale t1 samples freq amp out
-      deadline max_steps max_iters () =
+      deadline max_steps max_iters domains () =
     setup_logs (Some Logs.Warning);
     Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
     @@ fun () ->
@@ -385,7 +415,9 @@ let trace_cmd =
       };
     let q = build_model ~scale model in
     let k1, k2, k3 = orders in
-    let options = build_options ~method_ ~points ?s0 ~tol () in
+    let options =
+      build_options ~method_ ~points ?s0 ~tol ?domains:(domains_of domains) ()
+    in
     let r = Vmor.reduce ~options ~orders:{ k1; k2; k3 } q in
     let input = default_input q ~freq ~amp in
     let c = Vmor.compare_transient ~samples q r ~input ~t1 in
@@ -423,13 +455,13 @@ let trace_cmd =
     Term.(
       const
         (fun model orders method_ points s0 tol scale t1 samples freq amp out
-             deadline max_steps max_iters ->
+             deadline max_steps max_iters domains ->
           guarded
             (run model orders method_ points s0 tol scale t1 samples freq amp
-               out deadline max_steps max_iters))
+               out deadline max_steps max_iters domains))
       $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
       $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ out_arg
-      $ deadline_arg $ max_steps_arg $ max_iters_arg $ const ())
+      $ deadline_arg $ max_steps_arg $ max_iters_arg $ domains_arg $ const ())
 
 let load_trace path =
   try Obs.Trace.load path with
@@ -548,9 +580,10 @@ let profile_cmd =
       $ trace_file_arg $ chrome_arg $ folded_arg $ top_arg $ const ())
 
 let autoselect_cmd =
-  let run model scale trace metrics deadline max_steps max_iters () =
+  let run model scale trace metrics deadline max_steps max_iters domains () =
     setup_logs (Some Logs.Warning);
     setup_obs ~trace ~metrics;
+    Vmor.Par.with_domains (domains_of domains) @@ fun () ->
     Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
     @@ fun () ->
     let q = build_model ~scale model in
@@ -572,10 +605,12 @@ let autoselect_cmd =
     (Cmd.info "autoselect"
        ~doc:"Automatically select moment orders for a bundled model (§4).")
     Term.(
-      const (fun model scale trace metrics deadline max_steps max_iters ->
-          guarded (run model scale trace metrics deadline max_steps max_iters))
+      const
+        (fun model scale trace metrics deadline max_steps max_iters domains ->
+          guarded
+            (run model scale trace metrics deadline max_steps max_iters domains))
       $ model_arg $ scale_arg $ trace_arg $ metrics_arg $ deadline_arg
-      $ max_steps_arg $ max_iters_arg $ const ())
+      $ max_steps_arg $ max_iters_arg $ domains_arg $ const ())
 
 let distortion_cmd =
   let dfreq_arg =

@@ -14,6 +14,7 @@ module Volterra = Volterra
 module Mor = Mor
 module Waves = Waves
 module Experiments = Experiments
+module Par = Par
 
 type system = Volterra.Qldae.t
 
@@ -36,6 +37,7 @@ module Options = struct
     fault : Robust.Faultify.plan option;
     h3_triples : [ `All | `Diagonal ];
     budget : Robust.Budget.t option;
+    domains : int option;
   }
 
   let default =
@@ -48,18 +50,41 @@ module Options = struct
       fault = None;
       h3_triples = `All;
       budget = None;
+      domains = None;
     }
 
   let make ?s0 ?(tol = 1e-8) ?(method_ = Associated_transform) ?policy
-      ?recorder ?fault ?(h3_triples = `All) ?budget () =
-    { s0; tol; method_; policy; recorder; fault; h3_triples; budget }
+      ?recorder ?fault ?(h3_triples = `All) ?budget ?domains () =
+    (match domains with
+    | Some n when n < 1 || n > Par.max_domains ->
+      (* a typed error, not [invalid_arg]: callers wiring user input
+         into Options get the same taxonomy as every other contract *)
+      Robust.Error.raise_error
+        (Robust.Error.Contract_violation
+           {
+             loc = Robust.Error.loc ~subsystem:"core" ~operation:"Options.make";
+             detail =
+               Printf.sprintf "domains = %d outside [1, %d]" n Par.max_domains;
+           })
+    | _ -> ());
+    { s0; tol; method_; policy; recorder; fault; h3_triples; budget; domains }
 end
 
 let reduce ?(options = Options.default) ~orders (q : system) : reduction =
-  let { Options.s0; tol; method_; policy; recorder; fault; h3_triples; budget }
-      =
+  let {
+    Options.s0;
+    tol;
+    method_;
+    policy;
+    recorder;
+    fault;
+    h3_triples;
+    budget;
+    domains;
+  } =
     options
   in
+  Par.with_domains domains @@ fun () ->
   Robust.Budget.with_budget budget @@ fun () ->
   match method_ with
   | Associated_transform ->
@@ -67,11 +92,6 @@ let reduce ?(options = Options.default) ~orders (q : system) : reduction =
   | Norm_baseline -> Mor.Norm.reduce ?s0 ~tol ~orders q
   | Multipoint points ->
     Mor.Atmor.reduce_multipoint ?recorder ~tol ~h3_triples ~points ~orders q
-
-(* Deprecated pre-Options entry point, kept as a thin wrapper. *)
-let reduce_legacy ?s0 ?tol ?(method_ = Associated_transform) ~orders
-    (q : system) : reduction =
-  reduce ~options:(Options.make ?s0 ?tol ~method_ ()) ~orders q
 
 (* Recovery events behind a reduction (empty = clean run). *)
 let degradation (r : reduction) : Robust.Report.t = r.Mor.Atmor.degradation

@@ -24,9 +24,13 @@
     ]}
 
     {b Migration note.} Before the [Options] redesign, [reduce] took
-    [?s0]/[?tol]/[?method_] directly; that signature survives as the
-    deprecated {!reduce_legacy} and will be removed in a later
-    release. *)
+    [?s0]/[?tol]/[?method_] directly; that signature survived for a
+    while as the deprecated [reduce_legacy] and has now been {e
+    removed} — port call sites to
+    [Vmor.reduce ~options:(Vmor.Options.make ?s0 ?tol ~method_ ()) ~orders q],
+    which produces identical results.  [Options] is the single way to
+    tune a reduction, including the multicore lane count
+    ({!Options.t.domains} / [--domains] / [VMOR_DOMAINS]). *)
 
 module La = La
 
@@ -50,6 +54,11 @@ module Volterra = Volterra
 module Mor = Mor
 module Waves = Waves
 module Experiments = Experiments
+
+(** Deterministic multicore primitives (domain pool, [parallel_for],
+    [map_reduce]); the lane count a reduction uses is set by
+    {!Options.t.domains} (see DESIGN.md §14). *)
+module Par = Par
 
 type system = Volterra.Qldae.t
 
@@ -83,6 +92,13 @@ module Options : sig
             reduction; exhaustion degrades to a best-effort ROM or
             raises {!Robust.Error.Budget_exceeded} (see DESIGN.md §13).
             [None] leaves any ambient budget untouched. *)
+    domains : int option;
+        (** worker-domain lane count for the parallel kernels
+            ({!Par}).  [None] (the default) and [Some 1] run the
+            serial code path; [Some n] fans hot loops out over [n]
+            lanes with results bit-identical to serial (see DESIGN.md
+            §14).  [None] also leaves an ambient lane count set by an
+            enclosing {!Par.with_domains} untouched. *)
   }
 
   val default : t
@@ -98,20 +114,16 @@ module Options : sig
     ?fault:Robust.Faultify.plan ->
     ?h3_triples:[ `All | `Diagonal ] ->
     ?budget:Robust.Budget.t ->
+    ?domains:int ->
     unit ->
     t
+  (** Raises the typed {!Robust.Error.Contract_violation} (not
+      [Invalid_argument]) when [domains] is outside [[1, 64]]. *)
 end
 
 val reduce : ?options:Options.t -> orders:orders -> system -> reduction
 (** Reduce a QLDAE by projection NMOR ({!Options.default} when
     [options] is omitted). *)
-
-val reduce_legacy :
-  ?s0:float -> ?tol:float -> ?method_:method_ -> orders:orders -> system ->
-  reduction
-  [@@ocaml.deprecated "use Vmor.reduce ~options:(Vmor.Options.make ...)"]
-(** The pre-[Options] signature, kept as a thin wrapper over
-    {!reduce}. Produces identical results. *)
 
 val rom : reduction -> system
 (** The reduced-order model of a reduction. *)

@@ -211,19 +211,27 @@ let tri_solve ?(mu = 0.0) (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t)
       in
       for i = n - 1 downto 0 do
         let bi = off + (i * block) in
-        (* rhs += sum_{j>i} T[i,j] * y_j-block *)
-        for j = i + 1 to n - 1 do
-          let cr = tre.((i * n) + j) and ci = tim.((i * n) + j) in
-          if Contract.nonzero cr || Contract.nonzero ci then begin
-            let bj = off + (j * block) in
-            for r = 0 to block - 1 do
-              yre.(bi + r) <-
-                yre.(bi + r) +. ((cr *. yre.(bj + r)) -. (ci *. yim.(bj + r)));
-              yim.(bi + r) <-
-                yim.(bi + r) +. ((cr *. yim.(bj + r)) +. (ci *. yre.(bj + r)))
-            done
-          end
-        done;
+        (* rhs += sum_{j>i} T[i,j] * y_j-block.  Element [bi + r] reads
+           only the same [r] of later blocks, so the r-range splits into
+           contiguous Par tiles — each lane runs the j-loop serially
+           over its own subrange, keeping every element's accumulation
+           order (increasing j) identical to the serial solve, so the
+           parallel result is bit-identical. *)
+        Par.tiles ~lo:0 ~hi:block (fun ~lo ~hi ->
+            for j = i + 1 to n - 1 do
+              let cr = tre.((i * n) + j) and ci = tim.((i * n) + j) in
+              if Contract.nonzero cr || Contract.nonzero ci then begin
+                let bj = off + (j * block) in
+                for r = lo to hi - 1 do
+                  yre.(bi + r) <-
+                    yre.(bi + r)
+                    +. ((cr *. yre.(bj + r)) -. (ci *. yim.(bj + r)));
+                  yim.(bi + r) <-
+                    yim.(bi + r)
+                    +. ((cr *. yim.(bj + r)) +. (ci *. yre.(bj + r)))
+                done
+              end
+            done);
         go ~k:(k - 1) ~off:bi ~sre:(sre -. tre.((i * n) + i))
           ~sim:(sim -. tim.((i * n) + i))
       done

@@ -231,11 +231,17 @@ let reduce_multipoint ?recorder ?(tol = 1e-8) ?(h3_triples = `All)
   let t_start = Obs.Clock.now () in
   let rec0 = match recorder with Some r -> r | None -> Robust.Report.recorder () in
   let mark0 = Robust.Report.mark rec0 in
-  let vectors =
-    List.concat_map
+  (* The per-point moment blocks are independent, so they fan out over
+     [Par] work items.  Each point records into a private recorder —
+     sharing [rec0] across lanes would race — spliced back in point
+     order below, which rebuilds exactly the report a serial
+     left-to-right pass over [points] produces. *)
+  let per_point =
+    Par.map_list
       (fun s0 ->
         Robust.Budget.check "mor.Atmor.reduce_multipoint";
-        let eng = Assoc.create ~recorder:rec0 ~s0 q in
+        let rec_p = Robust.Report.recorder () in
+        let eng = Assoc.create ~recorder:rec_p ~s0 q in
         let m1 = if orders.k1 > 0 then Assoc.h1_moments eng ~k:orders.k1 else [] in
         let m2 = if orders.k2 > 0 then Assoc.h2_moments eng ~k:orders.k2 else [] in
         let m3 =
@@ -243,8 +249,15 @@ let reduce_multipoint ?recorder ?(tol = 1e-8) ?(h3_triples = `All)
             Assoc.h3_moments ~triples_mode:h3_triples eng ~k:orders.k3
           else []
         in
-        m1 @ m2 @ m3)
+        (m1 @ m2 @ m3, rec_p))
       points
+  in
+  let vectors =
+    List.concat_map
+      (fun (moments, rec_p) ->
+        Robust.Report.splice rec0 rec_p;
+        moments)
+      per_point
   in
   if vectors = [] then invalid_arg "Atmor.reduce_multipoint: no moments";
   let basis =

@@ -77,6 +77,35 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
      consumed by probing. *)
   let s0_req = match s0 with Some s -> s | None -> Assoc.default_s0 q in
   let s0_sel =
+    (* One probe, isolated: it records into a private recorder (spliced
+       into [rec0] only when the selection loop actually visits the
+       candidate) and catches everything, so probes can run
+       speculatively on Par lanes without racing the shared report. *)
+    let probe cand =
+      let rec_c = Robust.Report.recorder () in
+      match
+        (* budget poll between probe candidates: post-deadline
+           candidates fail fast into the classified path below *)
+        Robust.Budget.check "mor.Autoselect.reduce";
+        let eng = Assoc.create ~recorder:rec_c ~policy ~s0:cand q in
+        List.for_all Vec.is_finite (Assoc.h1_moments eng ~k:1)
+      with
+      | finite -> (rec_c, Ok finite)
+      | exception exn -> (rec_c, Error exn)
+    in
+    let candidates = Robust.Policy.nudges policy s0_req in
+    (* With parallelism on, speculate: probe every nudge candidate at
+       once, then replay the serial first-clean-wins decision over the
+       precomputed outcomes.  Probes past the winner are wasted work
+       but never touch [rec0], so the degradation report stays
+       bit-identical to the serial scan.  Serial keeps the lazy
+       probe-on-demand order. *)
+    let probed =
+      if Par.domains () > 1 then
+        let results = Par.map_list probe candidates in
+        List.map2 (fun cand r -> (cand, fun () -> r)) candidates results
+      else List.map (fun cand -> (cand, fun () -> probe cand)) candidates
+    in
     let rec go attempts last usable = function
       | [] -> (
         match usable with
@@ -86,27 +115,22 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
         | None ->
           Robust.Error.raise_error
             (Robust.Error.Budget_exhausted { loc = reduce_loc; attempts; last }))
-      | cand :: rest -> (
-        let mark = Robust.Report.mark rec0 in
+      | (cand, outcome) :: rest -> (
+        let rec_c, verdict = outcome () in
+        Robust.Report.splice rec0 rec_c;
         let keep err =
           if usable = None then Some (cand, err) else usable
         in
-        match
-          (* budget poll between probe candidates: post-deadline
-             candidates fail fast into the classified path below *)
-          Robust.Budget.check "mor.Autoselect.reduce";
-          let eng = Assoc.create ~recorder:rec0 ~policy ~s0:cand q in
-          List.for_all Vec.is_finite (Assoc.h1_moments eng ~k:1)
-        with
-        | true -> (
-          match Robust.Report.since rec0 mark with
+        match verdict with
+        | Ok true -> (
+          match Robust.Report.events rec_c with
           | [] -> cand
           | events ->
             let err =
               (List.nth events (List.length events - 1)).Robust.Report.error
             in
             go (attempts + 1) last (keep err) rest)
-        | false ->
+        | Ok false ->
           let err =
             Robust.Error.Contract_violation
               {
@@ -115,25 +139,25 @@ let reduce ?recorder ?policy ?fault ?s0 ?(growth_tol = 1e-7)
               }
           in
           (match rest with
-          | next :: _ ->
+          | (next, _) :: _ ->
             Robust.Report.record rec0
               ~action:(Printf.sprintf "nudge:%g" next)
               err
           | [] -> ());
           go (attempts + 1) (Some err) usable rest
-        | exception exn -> (
+        | Error exn -> (
           match Ladder.classify ~loc:reduce_loc exn with
           | None -> raise exn
           | Some err ->
             (match rest with
-            | next :: _ ->
+            | (next, _) :: _ ->
               Robust.Report.record rec0
                 ~action:(Printf.sprintf "nudge:%g" next)
                 err
             | [] -> ());
             go (attempts + 1) (Some err) usable rest))
     in
-    go 0 None None (Robust.Policy.nudges policy s0_req)
+    go 0 None None probed
   in
   let eng = Assoc.create ~recorder:rec0 ~policy ?fault ~s0:s0_sel q in
   let basis = ref [] in

@@ -148,17 +148,24 @@ let freq_sweep ?(omegas = default_omegas) ~s0 ~(full : Qldae.t)
         let ks_full = Ksolve.prepare full.Qldae.g1 in
         let ks_rom = Ksolve.prepare rom.Qldae.g1 in
         Some
-          (List.filter_map
-             (fun omega ->
-               protect (fun () ->
-                   (* budget poll per sweep point; [protect] swallows
-                      the raise, so a spent budget drops the remaining
-                      points instead of failing the diagnostic *)
-                   Robust.Budget.check "mor.Romdiag.freq_sweep";
-                   let sigma = { Complex.re = s0; im = omega } in
-                   let err2, ref2 = h1_gap ~ks_full ~ks_rom ~full ~rom sigma in
-                   Option.map (fun r -> (omega, r)) (relative ~err2 ~ref2)))
-             omegas))
+          (List.filter_map Fun.id
+             (* sweep points are independent reads of the two prepared
+                solvers, so they fan out over Par work items; the
+                index-ordered merge keeps the point list identical to a
+                serial sweep *)
+             (Par.map_list
+                (fun omega ->
+                  protect (fun () ->
+                      (* budget poll per sweep point; [protect] swallows
+                         the raise, so a spent budget drops the remaining
+                         points instead of failing the diagnostic *)
+                      Robust.Budget.check "mor.Romdiag.freq_sweep";
+                      let sigma = { Complex.re = s0; im = omega } in
+                      let err2, ref2 =
+                        h1_gap ~ks_full ~ks_rom ~full ~rom sigma
+                      in
+                      Option.map (fun r -> (omega, r)) (relative ~err2 ~ref2)))
+                omegas)))
   with
   | Some points -> points
   | None -> []

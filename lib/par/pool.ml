@@ -1,0 +1,105 @@
+(* A fixed-size pool of worker domains.
+
+   Workers park on a condition variable and wake when [run] publishes
+   a new job under the mutex.  A monotone epoch distinguishes
+   successive jobs: each worker remembers the last epoch it executed,
+   so a worker can never run the same job twice or miss one — [run]
+   does not return until every worker has decremented [pending], and
+   only then can the next epoch be published.
+
+   The caller executes lane 0 itself, so a pool of [lanes] keeps all
+   [lanes] cores busy with only [lanes - 1] spawned domains. *)
+
+type t = {
+  lanes : int;
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable job : (int -> unit) option; [@vmor.sync "guarded by mu"]
+  mutable epoch : int; [@vmor.sync "guarded by mu"]
+  mutable pending : int; [@vmor.sync "guarded by mu"]
+  mutable stop : bool; [@vmor.sync "guarded by mu"]
+  mutable workers : unit Domain.t list; [@vmor.sync "guarded by mu"]
+}
+
+let lanes t = t.lanes
+
+let worker t lane =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    let job =
+      Mutex.protect t.mu (fun () ->
+          while t.epoch = !seen && not t.stop do
+            Condition.wait t.cv t.mu
+          done;
+          if t.stop then None
+          else begin
+            seen := t.epoch;
+            t.job
+          end)
+    in
+    match job with
+    | None -> running := false
+    | Some f ->
+        (* Jobs are wrapped by Par to never raise; catching here is the
+           last defence so a stray exception cannot strand [run] waiting
+           on a [pending] that will never reach zero. *)
+        (try f lane with _ -> ());
+        Mutex.protect t.mu (fun () ->
+            t.pending <- t.pending - 1;
+            if t.pending = 0 then Condition.broadcast t.cv)
+  done
+
+let create ~lanes =
+  if lanes < 1 then invalid_arg "Pool.create: lanes must be >= 1";
+  let t =
+    { lanes; mu = Mutex.create (); cv = Condition.create (); job = None;
+      epoch = 0; pending = 0; stop = false; workers = [] }
+  in
+  if lanes > 1 then begin
+    Obs.Span.event "par.pool.start" ~detail:(Printf.sprintf "lanes=%d" lanes);
+    t.workers <-
+      List.init (lanes - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)))
+  end;
+  t
+
+let run t f =
+  if t.lanes <= 1 then f 0
+  else begin
+    Mutex.protect t.mu (fun () ->
+        t.job <- Some f;
+        t.pending <- t.lanes - 1;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.cv);
+    (* Lane 0 runs on the calling domain.  Even if it raises, wait for
+       the workers first — they may still be touching the job's shared
+       slots — then re-raise with the original backtrace. *)
+    let mine =
+      try
+        f 0;
+        None
+      with e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.protect t.mu (fun () ->
+        while t.pending > 0 do
+          Condition.wait t.cv t.mu
+        done;
+        t.job <- None);
+    match mine with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let shutdown t =
+  let workers =
+    Mutex.protect t.mu (fun () ->
+        t.stop <- true;
+        Condition.broadcast t.cv;
+        let w = t.workers in
+        t.workers <- [];
+        w)
+  in
+  if workers <> [] then
+    Obs.Span.event "par.pool.stop"
+      ~detail:(Printf.sprintf "lanes=%d" t.lanes);
+  List.iter Domain.join workers

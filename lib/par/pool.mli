@@ -1,0 +1,42 @@
+(** A fixed-size pool of worker domains.
+
+    One pool owns [lanes - 1] spawned domains plus the calling domain
+    (lane 0).  {!run} posts a job to every lane and returns once all
+    lanes have finished it, so a pool amortizes [Domain.spawn] (tens of
+    microseconds each) across many parallel regions: spawn once, then
+    each region costs one broadcast and one join-wait.
+
+    The pool is a mechanism, not a policy: lane counts, work
+    splitting, result ordering and exception routing live in {!Par}.
+    Everything the workers touch — the job slot, epoch and pending
+    count — is guarded by one mutex/condition pair; job payloads
+    communicate through the data structures the job closes over.
+
+    Per-domain observability works unchanged inside workers:
+    [Obs.Metrics] accumulators are domain-local and merged on read
+    (the arrays outlive their domain, so totals stay exact after
+    {!shutdown}), and the ambient [Robust.Budget] slot is a
+    process-wide atomic every lane polls — the first lane to observe
+    exhaustion latches it for all the others. *)
+
+type t
+
+val create : lanes:int -> t
+(** [create ~lanes] spawns [lanes - 1] worker domains (none when
+    [lanes = 1]).  Raises [Invalid_argument] when [lanes < 1]. *)
+
+val lanes : t -> int
+(** Total lane count, including the caller's lane 0. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job lane] on every lane [0 .. lanes-1]
+    concurrently — lane 0 on the calling domain — and returns when all
+    lanes are done.  Jobs must not raise: {!Par} wraps every job to
+    capture exceptions into per-lane slots, and as a last defence a
+    raising job is treated as completed so a stray exception cannot
+    leave {!run} waiting forever.  One job at a time per pool; {!Par}
+    serializes regions with its busy flag. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain.  Idempotent.  Must not be
+    called while a {!run} is in flight. *)

@@ -21,6 +21,14 @@ val record : recorder -> action:string -> Error.t -> unit
 
 val record_opt : recorder option -> action:string -> Error.t -> unit
 
+val splice : recorder -> recorder -> unit
+(** [splice parent child] moves (appends) [child]'s events into
+    [parent] as if they had just been recorded there, {e without}
+    re-emitting the [Obs] bridge events ({!record} already emitted
+    them when the child recorded).  Parallel kernels give each worker
+    a private recorder and splice the children back in increasing
+    work-item order, which reproduces the serial report exactly. *)
+
 val events : recorder -> t
 (** Events recorded so far, oldest first. *)
 

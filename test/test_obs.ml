@@ -321,16 +321,12 @@ let check_same_reduction name (a : Vmor.reduction) (b : Vmor.reduction) =
     done
   done
 
-let test_facade_legacy_equivalence () =
+let test_facade_options_equivalence () =
   let q = small_nltl () in
   let orders = { Mor.Atmor.k1 = 4; k2 = 2; k3 = 1 } in
   let via_options =
     Vmor.reduce ~options:(Vmor.Options.make ~s0:0.0 ~tol:1e-8 ()) ~orders q
   in
-  let via_legacy =
-    (Vmor.reduce_legacy ~s0:0.0 ~tol:1e-8 ~orders q [@warning "-3"])
-  in
-  check_same_reduction "legacy wrapper" via_options via_legacy;
   let direct = Mor.Atmor.reduce ~s0:0.0 ~tol:1e-8 ~orders q in
   check_same_reduction "facade vs Mor.Atmor" via_options direct
 
@@ -438,8 +434,8 @@ let suite =
       ] );
     ( "facade",
       [
-        Alcotest.test_case "Options path = deprecated wrapper" `Quick
-          test_facade_legacy_equivalence;
+        Alcotest.test_case "Options path = direct Mor.Atmor call" `Quick
+          test_facade_options_equivalence;
         Alcotest.test_case "method dispatch (norm, multipoint)" `Quick
           test_facade_method_dispatch;
         Alcotest.test_case "compare_transient covers all output channels"

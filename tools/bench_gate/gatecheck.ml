@@ -39,6 +39,18 @@ let gc_tolerance = 0.25
    one (a 0.1% baseline doubling to 0.2% is noise, not a regression). *)
 let overhead_slack = 1.0  (* percentage points *)
 
+(* Vmor.Par bands: absolute lines on the fresh run (not
+   baseline-relative — the baseline pins structure, the bands pin the
+   contract).  Both are ratios of wall times, so they are skipped
+   under --ignore-wall, and both only mean anything once the serial
+   wall clears a noise floor: a few-ms reduction at reduced scale
+   measures timer granularity and scheduler jitter, not kernel
+   scaling.  The speedup line additionally needs a host that can run
+   4 domains in parallel (the fresh run records its core count). *)
+let par_speedup_min = 2.5  (* 4-domain speedup on >= 4 cores *)
+let par_overhead_max = 2.0  (* percent: 1-domain over serial *)
+let par_wall_floor = 0.05  (* seconds of serial wall *)
+
 type rom = {
   method_name : string;
   order : int;
@@ -57,12 +69,20 @@ type experiment = {
   roms : rom list;
 }
 
+type par = {
+  cores : int;  (* Domain.recommended_domain_count on the bench host *)
+  walls : (string * float) list;
+      (* serial_wall / wall_1 / wall_2 / wall_4 / speedup_4 /
+         overhead_1_pct, as written by the bench `par` pass *)
+}
+
 type bench = {
   scale : float;
   experiments : experiment list;
   overheads : (string * float) list;
       (* instrumentation-overhead percentages (budget polling, …):
          wall-derived, so banded only when wall checks are on *)
+  par : par option;  (* Vmor.Par speedup block, absent pre-PR-8 *)
 }
 
 exception Bad_bench of string
@@ -109,6 +129,20 @@ let parse (src : string) : bench =
         (match member "overheads" json with
         | Some o -> List.map (fun (k, v) -> (k, to_num v)) (to_obj o)
         | None -> []);
+      par =
+        (match member "par" json with
+        | None -> None
+        | Some p ->
+          Some
+            {
+              cores = to_int (member_exn "cores" p);
+              walls =
+                List.filter_map
+                  (fun (k, v) ->
+                    if String.equal k "cores" then None
+                    else Some (k, to_num v))
+                  (to_obj p);
+            });
     }
   with Parse_error m -> bad "bad bench schema: %s" m
 
@@ -271,6 +305,74 @@ let check_experiment ~ignore_wall acc (old_e : experiment) (new_e : experiment) 
         check_rom ~ignore_wall ~where acc o n)
       acc old_e.roms new_e.roms
 
+(* The par block is structural first (it disappearing means the bench
+   stopped measuring parallelism; it appearing means the baseline
+   predates it and needs a refresh), banded second — and the bands are
+   absolute lines on the fresh run, conditioned on the fresh host:
+   speedup only on >= 4 usable cores, both ratios only above the
+   serial-wall noise floor. *)
+let check_par ~ignore_wall acc (old_p : par option) (new_p : par option) =
+  let where = "(par)" in
+  match (old_p, new_p) with
+  | None, None -> acc
+  | Some _, None ->
+    structural ~where ~metric:"par block" ~baseline:"present"
+      ~current:"missing" acc
+  | None, Some _ ->
+    structural ~where ~metric:"par block"
+      ~baseline:"absent (refresh baseline)" ~current:"present" acc
+  | Some old_p, Some new_p ->
+    let acc =
+      List.fold_left
+        (fun acc (name, _) ->
+          match List.assoc_opt name new_p.walls with
+          | Some _ -> acc
+          | None ->
+            structural ~where ~metric:name ~baseline:"present"
+              ~current:"missing" acc)
+        acc old_p.walls
+    in
+    let acc =
+      List.fold_left
+        (fun acc (name, _) ->
+          if List.mem_assoc name old_p.walls then acc
+          else
+            structural ~where ~metric:name
+              ~baseline:"absent (refresh baseline)" ~current:"present" acc)
+        acc new_p.walls
+    in
+    if ignore_wall then acc
+    else
+      let get name =
+        Option.value ~default:0.0 (List.assoc_opt name new_p.walls)
+      in
+      if get "serial_wall" < par_wall_floor then acc
+      else
+        let acc =
+          let s4 = get "speedup_4" in
+          if new_p.cores >= 4 && s4 < par_speedup_min then
+            {
+              where;
+              metric = "speedup_4";
+              baseline = Printf.sprintf "%d cores" new_p.cores;
+              current = Printf.sprintf "%.2fx" s4;
+              allowed = Printf.sprintf ">= %.1fx on >= 4 cores" par_speedup_min;
+            }
+            :: acc
+          else acc
+        in
+        let o1 = get "overhead_1_pct" in
+        if o1 > par_overhead_max then
+          {
+            where;
+            metric = "overhead_1_pct";
+            baseline = "serial wall";
+            current = Printf.sprintf "%+.2f%%" o1;
+            allowed = Printf.sprintf "<= %.1f%%" par_overhead_max;
+          }
+          :: acc
+        else acc
+
 let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
     violation list =
   let acc =
@@ -336,6 +438,7 @@ let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
               ~baseline:"absent (refresh baseline)" ~current:"present" acc)
         acc fresh.overheads
   in
+  let acc = check_par ~ignore_wall acc baseline.par fresh.par in
   List.rev acc
 
 let render (violations : violation list) : string =

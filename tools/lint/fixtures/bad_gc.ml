@@ -4,3 +4,4 @@ let full () = (Gc.stat ()).Gc.live_words
 let tuple () = Gc.counters ()
 let pointer () = Gc.minor_words ()
 let fine () = Gc.compact ()
+let stray () = Domain.spawn (fun () -> ())

@@ -1,0 +1,3 @@
+(* Fixture: Domain.spawn is allowed inside lib/par — the blessed home
+   of the worker pool (raw-domain-spawn must stay silent here). *)
+let spawn_ok f = Domain.spawn f

@@ -1,0 +1,1 @@
+val spawn_ok : (unit -> 'a) -> 'a Domain.t

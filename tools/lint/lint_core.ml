@@ -49,6 +49,9 @@ let rules =
     ("raw-gc",
      "Gc.stat / quick_stat / counters / minor_words outside lib/obs \
       (Obs.Prof is the GC reader)");
+    ("raw-domain-spawn",
+     "Domain.spawn outside lib/par (Par.parallel_for / Par.map_list \
+      own the worker pool)");
     ("toplevel-mutable",
      "module-level mutable state in lib/ (ref, mutable record, array, \
       Hashtbl, Buffer, lazy); domains race on it");
@@ -104,6 +107,12 @@ let in_lib_la path =
 (* Obs.Clock is the one blessed home of raw wall-clock reads. *)
 let in_lib_obs path =
   match after_lib path with Some ("obs" :: _) -> true | _ -> false
+
+(* Par.Pool is the one blessed home of Domain.spawn: everything else
+   must go through the Par primitives so determinism, budget latching
+   and pool sizing stay in one place. *)
+let in_lib_par path =
+  match after_lib path with Some ("par" :: _) -> true | _ -> false
 
 let basename path =
   match List.rev (segments path) with b :: _ -> b | [] -> path
@@ -235,6 +244,12 @@ let check_expression ctx path (e : expression) =
        report ctx path line "raw-gc"
          "raw GC introspection outside lib/obs; route allocation telemetry \
           through Obs.Prof so it rides the span/bench path"
+   | Some ([ "Domain"; "spawn" ] | [ "Stdlib"; "Domain"; "spawn" ])
+     when not (in_lib_par path) ->
+       report ctx path line "raw-domain-spawn"
+         "Domain.spawn outside lib/par; use Par.parallel_for / \
+          Par.map_list so pool sizing, determinism and budget latching \
+          stay centralized"
    | Some name when in_lib path && List.mem name stdout_printers ->
        report ctx path line "lib-printf"
          (Printf.sprintf "%s in library code; return strings or use Format \
