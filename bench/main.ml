@@ -42,17 +42,25 @@ let time_best ~reps f =
 (* ---- bench.json: per-experiment wall time, kernel counts, orders ---- *)
 
 (* Each figure reproduction records its wall time, the delta of every
-   Obs kernel counter, and the GC/allocation delta across the run, so
-   regressions in solver call counts and allocation volume (not just
-   time) show up in CI diffs of bench.json. *)
+   Obs kernel counter, the Obs.Cost work-counter delta (flops/bytes —
+   nominal, so exact across runs and domain counts), and the
+   GC/allocation delta across the run, so regressions in solver call
+   counts, floating-point work and allocation volume (not just time)
+   show up in CI diffs of bench.json. *)
 let bench_records
-    : (string * float * (string * int) list * Obs.Prof.t * Experiments.Common.t)
+    : (string
+      * float
+      * (string * int) list
+      * (string * int) list
+      * Obs.Prof.t
+      * Experiments.Common.t)
       list
       ref =
   ref []
 
 let record_run id build =
   let snap = Obs.Metrics.snapshot () in
+  let csnap = Obs.Cost.snapshot () in
   let gc0 = Obs.Prof.take () in
   let e, dt = Obs.Clock.time build in
   let gc = Obs.Prof.since gc0 in
@@ -61,7 +69,10 @@ let record_run id build =
       (fun (c, n) -> (Obs.Metrics.name c, n))
       (Obs.Metrics.since snap)
   in
-  bench_records := (id, dt, deltas, gc, e) :: !bench_records;
+  let cost =
+    List.map (fun (c, n) -> (Obs.Cost.name c, n)) (Obs.Cost.since csnap)
+  in
+  bench_records := (id, dt, deltas, cost, gc, e) :: !bench_records;
   e
 
 let json_escape = Obs.Json.escape
@@ -94,7 +105,13 @@ let write_bench_json ?json_path ~scale () =
     Buffer.add_string b "  \"experiments\": [\n";
     let n = List.length records in
     List.iteri
-      (fun i (id, dt, deltas, (gc : Obs.Prof.t), (e : Experiments.Common.t)) ->
+      (fun i
+           ( id,
+             dt,
+             deltas,
+             cost,
+             (gc : Obs.Prof.t),
+             (e : Experiments.Common.t) ) ->
         Buffer.add_string b "    {\n";
         Buffer.add_string b
           (Printf.sprintf "      \"id\": \"%s\",\n" (json_escape id));
@@ -111,6 +128,14 @@ let write_bench_json ?json_path ~scale () =
             Buffer.add_string b
               (Printf.sprintf "\"%s\": %d" (json_escape name) v))
           deltas;
+        Buffer.add_string b "},\n";
+        Buffer.add_string b "      \"cost\": {";
+        List.iteri
+          (fun j (name, v) ->
+            if j > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\": %d" (json_escape name) v))
+          cost;
         Buffer.add_string b "},\n";
         Buffer.add_string b
           (Printf.sprintf
@@ -625,9 +650,16 @@ let obs_overhead () =
     Circuit.Models.qldae (Circuit.Models.nltl ~stages:30 ~source:(`Voltage 1.0) ())
   in
   let orders = { Mor.Atmor.k1 = 6; k2 = 3; k3 = 1 } in
+  (* toggle the event counters and the Cost work counters together —
+     the disabled side must be the genuinely uninstrumented baseline *)
   let with_metrics enabled f =
     Obs.Metrics.set_enabled enabled;
-    Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled true) f
+    Obs.Cost.set_enabled enabled;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Metrics.set_enabled true;
+        Obs.Cost.set_enabled true)
+      f
   in
   (* interleave disabled/enabled passes so warm-up and GC drift hit
      both sides equally; best-of across rounds *)
@@ -833,6 +865,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 1.0 in
   let json_path = ref None in
+  let domains = ref None in
   let commands = ref [] in
   let rec parse = function
     | [] -> ()
@@ -841,6 +874,9 @@ let () =
       parse rest
     | "--json" :: p :: rest ->
       json_path := Some p;
+      parse rest
+    | "--domains" :: v :: rest ->
+      domains := Some (int_of_string v);
       parse rest
     | cmd :: rest ->
       commands := cmd :: !commands;
@@ -858,6 +894,10 @@ let () =
   in
   let scale = !scale in
   let t0 = Obs.Clock.now () in
+  (* --domains N runs every experiment under an ambient N-domain lane
+     count; cost counters are nominal, so bench.json must come out
+     bit-identical to a serial run (test_cost.ml asserts this). *)
+  Vmor.Par.with_domains !domains @@ fun () ->
   List.iter
     (fun cmd ->
       match cmd with

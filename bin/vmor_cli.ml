@@ -579,6 +579,37 @@ let profile_cmd =
           guarded (run trace_file chrome folded top))
       $ trace_file_arg $ chrome_arg $ folded_arg $ top_arg $ const ())
 
+let bench_history_cmd =
+  let dir_arg =
+    let doc =
+      "Directory holding BENCH_<pr>.json snapshots (the repo root by \
+       convention)."
+    in
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let csv_arg =
+    let doc = "Emit machine-readable CSV instead of the table." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run dir csv () =
+    setup_logs (Some Logs.Warning);
+    match Benchhistory.load_series ~dir with
+    | series ->
+      print_string
+        (if csv then Benchhistory.render_csv series
+         else Benchhistory.render_table series)
+    | exception Benchhistory.Bad_history m -> raise (Usage_error m)
+    | exception Sys_error m -> raise (Usage_error m)
+  in
+  Cmd.v
+    (Cmd.info "bench-history"
+       ~doc:
+         "Render the per-PR bench trajectory (wall time, nominal flops, \
+          flops/s, ROM orders, accuracy) from committed BENCH_<pr>.json \
+          snapshots.")
+    Term.(const (fun dir csv -> guarded (run dir csv)) $ dir_arg $ csv_arg
+          $ const ())
+
 let autoselect_cmd =
   let run model scale trace metrics deadline max_steps max_iters domains () =
     setup_logs (Some Logs.Warning);
@@ -708,6 +739,7 @@ let () =
             trace_cmd;
             report_cmd;
             profile_cmd;
+            bench_history_cmd;
             autoselect_cmd;
             distortion_cmd;
             all_cmd;

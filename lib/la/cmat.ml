@@ -99,6 +99,10 @@ let mul a b =
   if a.cols <> b.rows then invalid_arg "Cmat.mul: inner dimension mismatch";
   let c = create a.rows b.cols in
   let n = a.cols and p = b.cols in
+  Obs.Cost.charge Obs.Cost.Flops_matmul
+    (8 * a.rows * n * p)
+    ~read:(2 * ((a.rows * n) + (n * p)))
+    ~written:(2 * a.rows * p);
   for i = 0 to a.rows - 1 do
     let arow = i * n and crow = i * p in
     for k = 0 to n - 1 do
@@ -117,6 +121,10 @@ let mul a b =
 
 let mul_vec m (v : Cvec.t) : Cvec.t =
   if m.cols <> Cvec.dim v then invalid_arg "Cmat.mul_vec: dimension mismatch";
+  Obs.Cost.charge Obs.Cost.Flops_matvec
+    (8 * m.rows * m.cols)
+    ~read:(2 * ((m.rows * m.cols) + m.cols))
+    ~written:(2 * m.rows);
   let out = Cvec.create m.rows in
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in
@@ -135,6 +143,10 @@ let mul_vec m (v : Cvec.t) : Cvec.t =
 let mul_vec_adjoint m (v : Cvec.t) : Cvec.t =
   if m.rows <> Cvec.dim v then
     invalid_arg "Cmat.mul_vec_adjoint: dimension mismatch";
+  Obs.Cost.charge Obs.Cost.Flops_matvec
+    (8 * m.rows * m.cols)
+    ~read:(2 * ((m.rows * m.cols) + m.rows))
+    ~written:(2 * m.cols);
   let out = Cvec.create m.cols in
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in

@@ -16,7 +16,9 @@ type t = { n : int; schur : Schur.t }
 let prepare (g : Mat.t) : t =
   Contract.require_square "Ksolve.prepare" (Mat.dims g);
   Obs.Span.with_ ~name:"ksolve.prepare" (fun () ->
-      { n = Mat.rows g; schur = Schur.decompose g })
+      (* the dense Schur factorization charges itself *)
+      let n = Mat.rows g in
+      { n; schur = Schur.decompose g })
 
 let expected_len n k =
   let s = ref 1 in
@@ -102,6 +104,9 @@ let mode_mul ~n ~k ~m ?(adjoint = false) (mat : Cmat.t) (x : Cvec.t) : Cvec.t =
   in
   let block = n * stride_r in
   let nblocks = total / block in
+  Obs.Cost.charge Obs.Cost.Flops_tensor (8 * n * total)
+    ~read:((2 * n * n) + (2 * total))
+    ~written:(2 * total);
   let out = Cvec.create total in
   let mre = mat.Cmat.re and mim = mat.Cmat.im in
   let xre = x.Cvec.re and xim = x.Cvec.im in
@@ -147,6 +152,8 @@ let mode_mul_real ~n ~k ~m (mat : Mat.t) (x : Vec.t) : Vec.t =
   in
   let block = n * stride_r in
   let nblocks = total / block in
+  Obs.Cost.charge Obs.Cost.Flops_tensor (2 * n * total)
+    ~read:((n * n) + total) ~written:total;
   let out = Vec.create total in
   for l = 0 to nblocks - 1 do
     let base = l * block in
@@ -185,7 +192,13 @@ let tri_solve ?(mu = 0.0) (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t)
     (* one deadline poll per tensor block (tile): O(n^k) arithmetic per
        poll amortizes the clock read into noise *)
     Robust.Budget.check "la.Ksolve.tri_solve";
-    if k = 1 then
+    (* Nominal per-node charge, on the caller and outside the Par
+       tiles below, so counts are identical at any domain count. *)
+    if k = 1 then begin
+      Obs.Cost.charge Obs.Cost.Flops_trisolve
+        ((4 * n * (n - 1)) + (11 * n))
+        ~read:((n * n) + (2 * n))
+        ~written:(2 * n);
       for i = n - 1 downto 0 do
         let accr = ref yre.(off + i) and acci = ref yim.(off + i) in
         for j = i + 1 to n - 1 do
@@ -201,6 +214,7 @@ let tri_solve ?(mu = 0.0) (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t)
         yre.(off + i) <- ((!accr *. dr) +. (!acci *. di)) /. dm;
         yim.(off + i) <- ((!acci *. dr) -. (!accr *. di)) /. dm
       done
+    end
     else begin
       let block =
         let s = ref 1 in
@@ -209,6 +223,10 @@ let tri_solve ?(mu = 0.0) (tmat : Cmat.t) ~k ~(sigma : Complex.t) (w : Cvec.t)
         done;
         !s
       in
+      Obs.Cost.charge Obs.Cost.Flops_trisolve
+        (4 * block * n * (n - 1))
+        ~read:((n * n) + (2 * n * block))
+        ~written:(2 * n * block);
       for i = n - 1 downto 0 do
         let bi = off + (i * block) in
         (* rhs += sum_{j>i} T[i,j] * y_j-block.  Element [bi + r] reads
@@ -337,6 +355,10 @@ let unitary t : Cmat.t = Schur.unitary t.schur
 (* Apply (sigma I - ⊕^k G) to a real flat vector — residual checking. *)
 let apply_shifted ~(g : Mat.t) ~k ~sigma (x : Vec.t) : Vec.t =
   let n = Mat.rows g in
+  Obs.Cost.charge Obs.Cost.Flops_axpy
+    (((2 * k) + 1) * Array.length x)
+    ~read:(((2 * k) + 1) * Array.length x)
+    ~written:((k + 1) * Array.length x);
   let out = Vec.scale sigma x in
   for m = 0 to k - 1 do
     let gx = mode_mul_real ~n ~k ~m g x in

@@ -13,6 +13,10 @@ let factor a =
   if not (Mat.is_square a) then invalid_arg "Lu.factor: matrix not square";
   Obs.Metrics.incr Obs.Metrics.Lu_factor;
   Obs.Span.with_ ~name:"lu.factor" (fun () ->
+      let nn = Mat.rows a in
+      Obs.Cost.charge Obs.Cost.Flops_lu
+        (2 * nn * nn * nn / 3)
+        ~read:(nn * nn) ~written:(nn * nn);
       let norm1 = Mat.norm1 a in
       let n = Mat.rows a in
       let lu = Mat.copy a in
@@ -63,6 +67,8 @@ let solve t (b : Vec.t) : Vec.t =
   let n = dim t in
   if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
   Obs.Metrics.incr Obs.Metrics.Lu_solve;
+  Obs.Cost.charge Obs.Cost.Flops_trisolve (2 * n * n)
+    ~read:((n * n) + n) ~written:n;
   let x = apply_permutation t b in
   (* Forward substitution with unit lower triangle. *)
   for i = 1 to n - 1 do
@@ -89,6 +95,8 @@ let solve_transpose t (b : Vec.t) : Vec.t =
   if Array.length b <> n then
     invalid_arg "Lu.solve_transpose: dimension mismatch";
   Obs.Metrics.incr Obs.Metrics.Lu_solve;
+  Obs.Cost.charge Obs.Cost.Flops_trisolve (2 * n * n)
+    ~read:((n * n) + n) ~written:n;
   let x = Vec.copy b in
   (* U^T y = b: forward substitution (U^T is lower triangular) *)
   for i = 0 to n - 1 do

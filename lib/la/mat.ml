@@ -95,6 +95,10 @@ let mul a b =
          a.rows a.cols b.rows b.cols);
   let c = create a.rows b.cols in
   let n = a.cols and p = b.cols in
+  Obs.Cost.charge Obs.Cost.Flops_matmul
+    (2 * a.rows * n * p)
+    ~read:((a.rows * n) + (n * p))
+    ~written:(a.rows * p);
   (* ikj loop order: stream through rows of [b], cache friendly. *)
   for i = 0 to a.rows - 1 do
     let arow = i * n and crow = i * p in
@@ -116,6 +120,10 @@ let mul_vec m (v : Vec.t) : Vec.t =
       (Printf.sprintf "Mat.mul_vec: dimension mismatch (%dx%d * %d)" m.rows
          m.cols (Array.length v));
   Obs.Metrics.incr Obs.Metrics.Matvec;
+  Obs.Cost.charge Obs.Cost.Flops_matvec
+    (2 * m.rows * m.cols)
+    ~read:((m.rows * m.cols) + m.cols)
+    ~written:m.rows;
   let out = Vec.create m.rows in
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in
@@ -131,6 +139,10 @@ let mul_vec m (v : Vec.t) : Vec.t =
 let gemv ?(alpha = 1.0) ?(beta = 0.0) m (v : Vec.t) (out : Vec.t) =
   if m.cols <> Array.length v || m.rows <> Array.length out then
     invalid_arg "Mat.gemv: dimension mismatch";
+  Obs.Cost.charge Obs.Cost.Flops_matvec
+    ((2 * m.rows * m.cols) + (3 * m.rows))
+    ~read:((m.rows * m.cols) + m.cols + m.rows)
+    ~written:m.rows;
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in
     let s = ref 0.0 in
@@ -143,6 +155,10 @@ let gemv ?(alpha = 1.0) ?(beta = 0.0) m (v : Vec.t) (out : Vec.t) =
 let mul_vec_transpose m (v : Vec.t) : Vec.t =
   if m.rows <> Array.length v then
     invalid_arg "Mat.mul_vec_transpose: dimension mismatch";
+  Obs.Cost.charge Obs.Cost.Flops_matvec
+    (2 * m.rows * m.cols)
+    ~read:((m.rows * m.cols) + m.rows)
+    ~written:m.cols;
   let out = Vec.create m.cols in
   for i = 0 to m.rows - 1 do
     let row = i * m.cols in

@@ -14,6 +14,9 @@ let factor a =
   let m = Mat.rows a and n = Mat.cols a in
   Contract.require "Qr.factor" (m >= n) "dimension mismatch"
     (Printf.sprintf "need rows >= cols, got %dx%d" m n);
+  Obs.Cost.charge Obs.Cost.Flops_ortho
+    (2 * n * n * ((3 * m) - n) / 3)
+    ~read:(m * n) ~written:(m * n);
   let qr = Mat.copy a in
   let betas = Array.make n 0.0 in
   for k = 0 to n - 1 do
@@ -59,6 +62,8 @@ let r t =
    where x has length m. Q = H_0 H_1 ... H_{n-1}. *)
 let apply_q t (x : Vec.t) : Vec.t =
   Contract.require_len "Qr.apply_q" ~expected:t.m ~actual:(Array.length x);
+  Obs.Cost.charge Obs.Cost.Flops_ortho (4 * t.m * t.n)
+    ~read:((t.m * t.n) + t.m) ~written:t.m;
   let y = Vec.copy x in
   for k = t.n - 1 downto 0 do
     if Contract.nonzero t.betas.(k) then begin
@@ -77,6 +82,8 @@ let apply_q t (x : Vec.t) : Vec.t =
 
 let apply_qt t (x : Vec.t) : Vec.t =
   Contract.require_len "Qr.apply_qt" ~expected:t.m ~actual:(Array.length x);
+  Obs.Cost.charge Obs.Cost.Flops_ortho (4 * t.m * t.n)
+    ~read:((t.m * t.n) + t.m) ~written:t.m;
   let y = Vec.copy x in
   for k = 0 to t.n - 1 do
     if Contract.nonzero t.betas.(k) then begin
@@ -104,6 +111,8 @@ let thin_q t =
 let solve_ls t (b : Vec.t) : Vec.t =
   Contract.require_len "Qr.solve_ls" ~expected:t.m ~actual:(Array.length b);
   let qtb = apply_qt t b in
+  Obs.Cost.charge Obs.Cost.Flops_trisolve (t.n * t.n)
+    ~read:(t.n * t.n) ~written:t.n;
   let x = Vec.create t.n in
   for i = t.n - 1 downto 0 do
     let s = ref qtb.(i) in
@@ -135,6 +144,11 @@ let orthonormalize ?(tol = 1e-10) (vs : Vec.t list) : Vec.t list =
   List.iter
     (fun v0 ->
       let v = Vec.copy v0 in
+      let nb = List.length !basis and len = Array.length v0 in
+      Obs.Cost.charge Obs.Cost.Flops_ortho
+        ((8 * nb * len) + (5 * len))
+        ~read:((4 * nb * len) + len)
+        ~written:((2 * nb * len) + len);
       let norm0 = Vec.norm2 v in
       if norm0 > 0.0 then begin
         project_out v;

@@ -251,6 +251,12 @@ let qr_iterate (h : Cmat.t) (u : Cmat.t) =
 let decompose_complex (a : Cmat.t) : t =
   if Cmat.rows a <> Cmat.cols a then invalid_arg "Schur: matrix not square";
   let n = Cmat.rows a in
+  (* Nominal dense-Schur charge (Hessenberg reduction plus the
+     conventional QR-iteration budget), a function of the dimension
+     only — the data-dependent sweep count must not leak into the
+     deterministic counters. *)
+  Obs.Cost.charge Obs.Cost.Flops_schur (25 * n * n * n)
+    ~read:(2 * n * n) ~written:(4 * n * n);
   let h = Cmat.copy a in
   let u = Cmat.identity n in
   if n > 1 then begin

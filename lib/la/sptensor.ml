@@ -80,6 +80,10 @@ let flat_len t =
 let apply_flat t (x : Vec.t) : Vec.t =
   Contract.require_len "Sptensor.apply_flat" ~expected:(flat_len t)
     ~actual:(Array.length x);
+  Obs.Cost.charge Obs.Cost.Flops_tensor
+    (2 * Array.length t.entries)
+    ~read:(2 * Array.length t.entries)
+    ~written:(t.n_out + Array.length t.entries);
   let out = Vec.create t.n_out in
   Array.iter
     (fun e -> out.(e.row) <- out.(e.row) +. (e.coeff *. x.(flat_index t e.idx)))
@@ -89,6 +93,10 @@ let apply_flat t (x : Vec.t) : Vec.t =
 let apply_flat_complex t (x : Cvec.t) : Cvec.t =
   Contract.require_len "Sptensor.apply_flat_complex" ~expected:(flat_len t)
     ~actual:(Cvec.dim x);
+  Obs.Cost.charge Obs.Cost.Flops_tensor
+    (4 * Array.length t.entries)
+    ~read:(3 * Array.length t.entries)
+    ~written:((2 * t.n_out) + (2 * Array.length t.entries));
   let out = Cvec.create t.n_out in
   Array.iter
     (fun e ->
@@ -106,6 +114,10 @@ let apply_kron t (vs : Vec.t array) : Vec.t =
     (fun v ->
       if Array.length v <> t.n_in then invalid_arg "Sptensor.apply_kron: dim")
     vs;
+  Obs.Cost.charge Obs.Cost.Flops_tensor
+    ((t.arity + 1) * Array.length t.entries)
+    ~read:((t.arity + 1) * Array.length t.entries)
+    ~written:(t.n_out + Array.length t.entries);
   let out = Vec.create t.n_out in
   Array.iter
     (fun e ->

@@ -60,6 +60,14 @@ let run ?recorder ?(context = "arnoldi.run") ~(matvec : Vec.t -> Vec.t)
          incr j;
          raise Exit);
        Obs.Metrics.incr Obs.Metrics.Arnoldi_iter;
+       (* Nominal MGS charge for this iteration: two passes of (j+1)
+          dot+axpy pairs plus the norm and the rescale.  Charged here,
+          never inside the sink-gated health block below — cost counts
+          must be identical in traced and untraced runs. *)
+       Obs.Cost.charge Obs.Cost.Flops_ortho
+         ((8 * (!j + 1) * n) + (3 * n))
+         ~read:((4 * (!j + 1) * n) + n)
+         ~written:((2 * (!j + 1) * n) + n);
        let w = matvec vs.(!j) in
        (* A non-finite operator application (faulty matvec, overflow)
           would poison every later column through MGS; truncate to the

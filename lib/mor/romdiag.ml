@@ -41,10 +41,18 @@ let relative ~err2 ~ref2 =
 (* H1(s) = C (sI − G1)⁻¹ B, all input columns, via the k = 1 shifted
    Kronecker-sum solve (one Schur factorization serves every sample
    point of the sweep). *)
+(* Un-leafed residual glue per output pair: the complex difference plus
+   both squared norms over the p output rows; the evaluators and the
+   C-applications charge themselves. *)
+let charge_gap ~outputs:p =
+  Obs.Cost.charge Obs.Cost.Flops_axpy (10 * p) ~read:(6 * p) ~written:(2 * p)
+
 let h1_gap ~ks_full ~ks_rom ~(full : Qldae.t) ~(rom : Qldae.t) sigma =
   let m = Qldae.n_inputs full in
+  let p = Mat.rows full.Qldae.c in
   let err2 = ref 0.0 and ref2 = ref 0.0 in
   for a = 0 to m - 1 do
+    charge_gap ~outputs:p;
     let yf =
       apply_c full.Qldae.c
         (Ksolve.solve_shifted ks_full ~k:1 ~sigma
@@ -62,9 +70,11 @@ let h1_gap ~ks_full ~ks_rom ~(full : Qldae.t) ~(rom : Qldae.t) sigma =
 
 let h2_gap ~eng_full ~eng_rom ~(full : Qldae.t) ~(rom : Qldae.t) sigma =
   let m = Qldae.n_inputs full in
+  let p = Mat.rows full.Qldae.c in
   let err2 = ref 0.0 and ref2 = ref 0.0 in
   for a = 0 to m - 1 do
     for b = a to m - 1 do
+      charge_gap ~outputs:p;
       let yf = apply_c full.Qldae.c (Assoc.h2_eval eng_full ~inputs:(a, b) sigma) in
       let yr = apply_c rom.Qldae.c (Assoc.h2_eval eng_rom ~inputs:(a, b) sigma) in
       err2 := !err2 +. csq (Cvec.sub yf yr);
@@ -75,8 +85,10 @@ let h2_gap ~eng_full ~eng_rom ~(full : Qldae.t) ~(rom : Qldae.t) sigma =
 
 let h3_gap ~eng_full ~eng_rom ~(full : Qldae.t) ~(rom : Qldae.t) sigma =
   let m = Qldae.n_inputs full in
+  let p = Mat.rows full.Qldae.c in
   let err2 = ref 0.0 and ref2 = ref 0.0 in
   for a = 0 to m - 1 do
+    charge_gap ~outputs:p;
     let yf =
       apply_c full.Qldae.c (Assoc.h3_eval eng_full ~inputs:(a, a, a) sigma)
     in

@@ -1,0 +1,137 @@
+(* Deterministic work accounting: nominal flops and bytes per kernel.
+
+   The same per-domain accumulator design as [Metrics] — each domain
+   ticks into its own flat int array held in a [Domain.DLS] slot, and
+   readers merge every registered array under [mu], so a charge is one
+   atomic-flag load, one DLS fetch and a few bounds-checked stores,
+   and the merge after [Domain.join] is exact.
+
+   Charges are *nominal*: closed-form functions of the operand
+   dimensions at each kernel call (2mn for an m-by-n matvec, 2n^3/3
+   for an LU factorization), never of data values, never of observer
+   state.  That makes every counter bit-identical across repeated
+   runs, across domain counts, and across traced vs untraced
+   executions — which is what lets the bench gate pin the whole block
+   with exact zero-tolerance bands (DESIGN.md section 15).  Tick sites
+   follow a single-charge policy: leaf kernels (Mat, Lu, Qr, Ksolve,
+   Sptensor) charge themselves; composite layers charge only work
+   that does not route through an instrumented leaf. *)
+
+type counter =
+  | Flops_axpy
+  | Flops_matvec
+  | Flops_matmul
+  | Flops_lu
+  | Flops_trisolve
+  | Flops_schur
+  | Flops_tensor
+  | Flops_ortho
+  | Flops_ode_rhs
+  | Flops_stepper
+  | Bytes_read
+  | Bytes_written
+
+let n_counters = 12
+
+let index = function
+  | Flops_axpy -> 0
+  | Flops_matvec -> 1
+  | Flops_matmul -> 2
+  | Flops_lu -> 3
+  | Flops_trisolve -> 4
+  | Flops_schur -> 5
+  | Flops_tensor -> 6
+  | Flops_ortho -> 7
+  | Flops_ode_rhs -> 8
+  | Flops_stepper -> 9
+  | Bytes_read -> 10
+  | Bytes_written -> 11
+
+let name = function
+  | Flops_axpy -> "flops_axpy"
+  | Flops_matvec -> "flops_matvec"
+  | Flops_matmul -> "flops_matmul"
+  | Flops_lu -> "flops_lu"
+  | Flops_trisolve -> "flops_trisolve"
+  | Flops_schur -> "flops_schur"
+  | Flops_tensor -> "flops_tensor"
+  | Flops_ortho -> "flops_ortho"
+  | Flops_ode_rhs -> "flops_ode_rhs"
+  | Flops_stepper -> "flops_stepper"
+  | Bytes_read -> "bytes_read"
+  | Bytes_written -> "bytes_written"
+
+let all =
+  [ Flops_axpy; Flops_matvec; Flops_matmul; Flops_lu; Flops_trisolve;
+    Flops_schur; Flops_tensor; Flops_ortho; Flops_ode_rhs; Flops_stepper;
+    Bytes_read; Bytes_written ]
+
+let of_name s = List.find_opt (fun c -> name c = s) all
+
+let is_flops = function Bytes_read | Bytes_written -> false | _ -> true
+
+let mu = Mutex.create ()
+
+(* Every per-domain cost array ever handed out.  Arrays outlive their
+   domain so joined children keep contributing to the merge. *)
+let domains : int array list ref = ref [] [@@vmor.sync "guarded by mu"]
+
+let slot =
+  Domain.DLS.new_key (fun () ->
+      let a = Array.make n_counters 0 in
+      Mutex.protect mu (fun () -> domains := a :: !domains);
+      a)
+
+let enabled = Atomic.make true
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+(* [read]/[written] are in 8-byte floating-point words; the bytes
+   counters store bytes.  One DLS fetch covers all three stores. *)
+let charge ?(read = 0) ?(written = 0) c flops =
+  if Atomic.get enabled then begin
+    let a = Domain.DLS.get slot in
+    let i = index c in
+    a.(i) <- a.(i) + flops;
+    if read <> 0 then a.(10) <- a.(10) + (8 * read);
+    if written <> 0 then a.(11) <- a.(11) + (8 * written)
+  end
+
+(* Merge-on-read: sum every registered domain's array under the lock. *)
+let merged () =
+  Mutex.protect mu (fun () ->
+      let out = Array.make n_counters 0 in
+      List.iter
+        (fun a ->
+          for i = 0 to n_counters - 1 do
+            out.(i) <- out.(i) + a.(i)
+          done)
+        !domains;
+      out)
+
+let get c = (merged ()).(index c)
+
+type snapshot = int array
+
+let snapshot () = merged ()
+
+let since (snap : snapshot) =
+  let now = merged () in
+  List.filter_map
+    (fun c ->
+      let d = now.(index c) - snap.(index c) in
+      if d = 0 then None else Some (c, d))
+    all
+
+let reset () =
+  Mutex.protect mu (fun () ->
+      List.iter (fun a -> Array.fill a 0 n_counters 0) !domains)
+
+let total_flops deltas =
+  List.fold_left (fun acc (c, n) -> if is_flops c then acc + n else acc) 0 deltas
+
+let total_bytes deltas =
+  List.fold_left
+    (fun acc (c, n) -> if is_flops c then acc else acc + n)
+    0 deltas

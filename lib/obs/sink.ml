@@ -17,6 +17,7 @@ type span_record = {
   start : float;
   dur : float;
   counters : (string * int) list;
+  cost : (string * int) list;
   prof : Prof.t option;
 }
 
@@ -57,9 +58,17 @@ let span_to_json (r : span_record) =
              Printf.sprintf ",\"prof.%s\":%s" k (Json.float_string v))
       |> String.concat ""
   in
+  (* Cost deltas ride the same way as flat cost.* members: absent in
+     old traces, ignored by readers that predate the cost layer. *)
+  let cost =
+    r.cost
+    |> List.map (fun (k, v) ->
+           Printf.sprintf ",\"cost.%s\":%d" (json_escape k) v)
+    |> String.concat ""
+  in
   Printf.sprintf
-    "{\"type\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start\":%.6f,\"dur\":%.6f,\"counters\":{%s}%s}"
-    (json_escape r.name) r.depth r.start r.dur counters prof
+    "{\"type\":\"span\",\"name\":\"%s\",\"depth\":%d,\"start\":%.6f,\"dur\":%.6f,\"counters\":{%s}%s%s}"
+    (json_escape r.name) r.depth r.start r.dur counters prof cost
 
 let event_to_json (r : event_record) =
   Printf.sprintf

@@ -22,6 +22,10 @@ type span_record = {
   counters : (string * int) list;
       (** nonzero counter deltas accumulated inside the span,
           inclusive of child spans *)
+  cost : (string * int) list;
+      (** nonzero {!Cost} deltas (nominal flops/bytes) accumulated
+          inside the span, inclusive of child spans; rendered as flat
+          [cost.*] JSON members *)
   prof : Prof.t option;
       (** GC/allocation deltas over the span (inclusive of children),
           rendered as flat [prof.*] JSON members; [None] when capture

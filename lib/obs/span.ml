@@ -20,6 +20,7 @@ let with_ ~name f =
     let gc0 = if prof_on then Prof.take () else Prof.zero in
     let start = Clock.now () in
     let snap = Metrics.snapshot () in
+    let csnap = Cost.snapshot () in
     Fun.protect
       ~finally:(fun () ->
         (* GC delta first: the counter-list allocations below would
@@ -29,8 +30,11 @@ let with_ ~name f =
         let counters =
           List.map (fun (c, n) -> (Metrics.name c, n)) (Metrics.since snap)
         in
+        let cost =
+          List.map (fun (c, n) -> (Cost.name c, n)) (Cost.since csnap)
+        in
         depth := d;
-        s.Sink.on_span { Sink.name; depth = d; start; dur; counters; prof })
+        s.Sink.on_span { Sink.name; depth = d; start; dur; counters; cost; prof })
       f
   end
 

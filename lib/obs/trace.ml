@@ -45,6 +45,18 @@ let record_of_json j : record =
              else None)
       |> Prof.of_fields
     in
+    (* Cost deltas ride as flat cost.* members; traces written before
+       the cost layer existed simply have none. *)
+    let cost =
+      Json.to_obj j
+      |> List.filter_map (fun (k, v) ->
+             if String.length k > 5 && String.sub k 0 5 = "cost." then
+               match v with
+               | Json.Num f ->
+                 Some (String.sub k 5 (String.length k - 5), int_of_float f)
+               | _ -> None
+             else None)
+    in
     Span
       {
         Sink.name = Json.(to_str (member_exn "name" j));
@@ -52,6 +64,7 @@ let record_of_json j : record =
         start = Json.(to_num (member_exn "start" j));
         dur = Json.(to_num (member_exn "dur" j));
         counters;
+        cost;
         prof;
       }
   | "event" ->
@@ -342,7 +355,37 @@ type attrib = {
   excl_minor_words : float;
   incl_major_words : float;
   excl_major_words : float;
+  incl_flops : int;
+  excl_flops : int;
+  incl_bytes : int;
+  excl_bytes : int;
 }
+
+(* Per-span cost deltas carry the full Cost key set; the attribution
+   views only need the flop total and the byte total. *)
+let span_flops (s : Sink.span_record) =
+  List.fold_left
+    (fun acc (k, v) ->
+      match Cost.of_name k with
+      | Some c when Cost.is_flops c -> acc + v
+      | _ -> acc)
+    0 s.Sink.cost
+
+let span_bytes (s : Sink.span_record) =
+  List.fold_left
+    (fun acc (k, v) ->
+      match Cost.of_name k with
+      | Some c when not (Cost.is_flops c) -> acc + v
+      | _ -> acc)
+    0 s.Sink.cost
+
+(* Derived flops-per-second.  A zero-duration span (the clock's
+   resolution is finite; tiny spans really do record dur = 0) has no
+   meaningful rate, so render "n/a" — the same guard shape as
+   [pct_change]'s zero baseline. *)
+let flops_rate ~flops ~seconds =
+  if not (Float.is_finite seconds) || seconds < 1e-12 then "n/a"
+  else Printf.sprintf "%.3g" (float_of_int flops /. seconds)
 
 let attribution t : attrib list =
   let tbl : (string, attrib) Hashtbl.t = Hashtbl.create 16 in
@@ -355,15 +398,19 @@ let attribution t : attrib list =
     | Leaf _ -> ()
     | Node (s, kids) ->
       let child_dur = ref 0.0 and child_minor = ref 0.0 and child_major = ref 0.0 in
+      let child_flops = ref 0 and child_bytes = ref 0 in
       List.iter
         (function
           | Node (c, _) ->
             child_dur := !child_dur +. c.Sink.dur;
             child_minor := !child_minor +. prof_minor c;
-            child_major := !child_major +. prof_major c
+            child_major := !child_major +. prof_major c;
+            child_flops := !child_flops + span_flops c;
+            child_bytes := !child_bytes + span_bytes c
           | Leaf _ -> ())
         kids;
       let excl v children = Float.max 0.0 (v -. children) in
+      let excl_i v children = max 0 (v - children) in
       let a =
         match Hashtbl.find_opt tbl s.Sink.name with
         | Some a -> a
@@ -377,6 +424,10 @@ let attribution t : attrib list =
             excl_minor_words = 0.0;
             incl_major_words = 0.0;
             excl_major_words = 0.0;
+            incl_flops = 0;
+            excl_flops = 0;
+            incl_bytes = 0;
+            excl_bytes = 0;
           }
       in
       Hashtbl.replace tbl s.Sink.name
@@ -391,6 +442,10 @@ let attribution t : attrib list =
           incl_major_words = a.incl_major_words +. prof_major s;
           excl_major_words =
             a.excl_major_words +. excl (prof_major s) !child_major;
+          incl_flops = a.incl_flops + span_flops s;
+          excl_flops = a.excl_flops + excl_i (span_flops s) !child_flops;
+          incl_bytes = a.incl_bytes + span_bytes s;
+          excl_bytes = a.excl_bytes + excl_i (span_bytes s) !child_bytes;
         };
       List.iter walk kids
   in
@@ -405,13 +460,15 @@ let render_hot ?(top = 10) t =
   let line fmt = Printf.ksprintf (fun m -> Buffer.add_string b (m ^ "\n")) fmt in
   line "hot kernels (exclusive time, top %d of %d)" (List.length shown)
     (List.length rows);
-  line "%-28s %6s %10s %10s %12s %12s" "span" "calls" "excl s" "incl s"
-    "excl minor w" "excl major w";
-  line "%s" (String.make 84 '-');
+  line "%-28s %6s %10s %10s %12s %12s %12s %12s %9s" "span" "calls" "excl s"
+    "incl s" "excl minor w" "excl major w" "excl flops" "excl bytes" "flops/s";
+  line "%s" (String.make 118 '-');
   List.iter
     (fun a ->
-      line "%-28s %6d %10.4f %10.4f %12.3g %12.3g" a.span a.calls a.excl_s
-        a.incl_s a.excl_minor_words a.excl_major_words)
+      line "%-28s %6d %10.4f %10.4f %12.3g %12.3g %12d %12d %9s" a.span
+        a.calls a.excl_s a.incl_s a.excl_minor_words a.excl_major_words
+        a.excl_flops a.excl_bytes
+        (flops_rate ~flops:a.excl_flops ~seconds:a.excl_s))
     shown;
   if rows = [] then line "  (no spans recorded)";
   Buffer.contents b
@@ -441,6 +498,9 @@ let to_chrome t : Json.t =
     let args =
       (("depth", Json.Num (float_of_int s.Sink.depth))
       :: List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.Sink.counters)
+      @ List.map
+          (fun (k, v) -> ("cost." ^ k, Json.Num (float_of_int v)))
+          s.Sink.cost
       @
       match s.Sink.prof with
       | None -> []
@@ -590,7 +650,7 @@ let span_totals t : (string * (int * float)) list =
 (* Kernel counters summed over top-level spans only: span counters are
    inclusive of children, so depth 0 gives whole-run totals without
    double counting. *)
-let counter_totals t : (string * int) list =
+let totals_over_roots project t : (string * int) list =
   let tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (s : Sink.span_record) ->
@@ -598,10 +658,13 @@ let counter_totals t : (string * int) list =
         List.iter
           (fun (k, v) ->
             Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
-          s.Sink.counters)
+          (project s))
     t.spans;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counter_totals t = totals_over_roots (fun s -> s.Sink.counters) t
+let cost_totals t = totals_over_roots (fun s -> s.Sink.cost) t
 
 (* Percent delta with a guarded denominator: a zero (or non-finite)
    old value has no meaningful relative change, so render "n/a" rather
@@ -645,20 +708,25 @@ let render_diff old_t new_t =
       in
       line "%-30s %10s %10s %9s" name (fmt_tot old_v) (fmt_tot new_v) delta)
     (List.sort (fun a b -> compare (key a) (key b)) names);
-  let old_c = counter_totals old_t and new_c = counter_totals new_t in
-  let cnames = List.sort_uniq compare (List.map fst old_c @ List.map fst new_c) in
-  if cnames <> [] then begin
-    line "";
-    line "%-30s %10s %10s %9s" "counter" "old" "new" "delta";
-    line "%s" (String.make 62 '-');
-    List.iter
-      (fun name ->
-        let ov = Option.value ~default:0 (List.assoc_opt name old_c)
-        and nv = Option.value ~default:0 (List.assoc_opt name new_c) in
-        line "%-30s %10d %10d %9s" name ov nv
-          (pct_change ~old:(float_of_int ov) ~fresh:(float_of_int nv)))
-      cnames
-  end;
+  let int_table ~header old_c new_c =
+    let cnames =
+      List.sort_uniq compare (List.map fst old_c @ List.map fst new_c)
+    in
+    if cnames <> [] then begin
+      line "";
+      line "%-30s %13s %13s %9s" header "old" "new" "delta";
+      line "%s" (String.make 68 '-');
+      List.iter
+        (fun name ->
+          let ov = Option.value ~default:0 (List.assoc_opt name old_c)
+          and nv = Option.value ~default:0 (List.assoc_opt name new_c) in
+          line "%-30s %13d %13d %9s" name ov nv
+            (pct_change ~old:(float_of_int ov) ~fresh:(float_of_int nv)))
+        cnames
+    end
+  in
+  int_table ~header:"counter" (counter_totals old_t) (counter_totals new_t);
+  int_table ~header:"cost" (cost_totals old_t) (cost_totals new_t);
   (* headline health, old vs new *)
   let os = summarize old_t and ns = summarize new_t in
   let health_rows =

@@ -40,18 +40,29 @@ type attrib = {
   excl_minor_words : float;
   incl_major_words : float;
   excl_major_words : float;
+  incl_flops : int;  (** total inclusive nominal flops ({!Cost}) *)
+  excl_flops : int;  (** exclusive flops (self minus children, >= 0) *)
+  incl_bytes : int;  (** total inclusive nominal bytes moved *)
+  excl_bytes : int;  (** exclusive bytes (self minus children, >= 0) *)
 }
 
 val attribution : t -> attrib list
-(** Per-span-name inclusive and exclusive time/allocation totals,
+(** Per-span-name inclusive and exclusive time/allocation/work totals,
     sorted by exclusive time descending.  Exclusive cost is the span's
     own value minus the sum over its direct child spans, clamped at
     zero; allocation columns are zero for traces recorded without
-    {!Prof} capture. *)
+    {!Prof} capture, and flop/byte columns are zero for traces
+    recorded before the {!Cost} layer existed. *)
+
+val flops_rate : flops:int -> seconds:float -> string
+(** Derived flops-per-second, or ["n/a"] when [seconds] is zero (below
+    clock resolution) or non-finite — the rate guard used by the
+    {!render_hot} column. *)
 
 val render_hot : ?top:int -> t -> string
 (** "Hot kernels" table over {!attribution}, showing the [top]
-    (default 10) spans by exclusive time. *)
+    (default 10) spans by exclusive time, with exclusive flop/byte
+    totals and the guarded flops-per-second rate. *)
 
 val to_chrome : t -> Json.t
 (** Chrome trace-event JSON (chrome://tracing, Perfetto): spans as
@@ -99,7 +110,15 @@ val summarize : t -> health_summary
 val render_health : t -> string
 (** Human-readable numerical-health summary block. *)
 
+val counter_totals : t -> (string * int) list
+(** Whole-run kernel-counter totals: counters summed over depth-0
+    spans only (span counters are inclusive of children), sorted by
+    name. *)
+
+val cost_totals : t -> (string * int) list
+(** Whole-run {!Cost} totals over depth-0 spans, sorted by name. *)
+
 val render_diff : t -> t -> string
 (** Compare two traces: per-span-name total durations, whole-run
-    kernel counters (depth-0 spans), and headline health values, with
-    percentage deltas. *)
+    kernel counters and cost totals (depth-0 spans), and headline
+    health values, with percentage deltas. *)

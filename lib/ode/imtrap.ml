@@ -37,6 +37,10 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
   let refactor tn xn step_h =
     let j = jac tn xn in
     stats.Types.jac_evals <- stats.Types.jac_evals + 1;
+    (* iteration-matrix assembly (Mat.sub + Mat.scale are un-leafed);
+       the factorization below charges itself *)
+    Obs.Cost.charge Obs.Cost.Flops_stepper (2 * n * n)
+      ~read:(2 * n * n) ~written:(2 * n * n);
     let iter_mat = Mat.sub id (Mat.scale (0.5 *. step_h) j) in
     let lu = Lu.factor iter_mat in
     cache := Some (step_h, lu);
@@ -70,6 +74,11 @@ let integrate (sys : Types.system) ~t0 ~t1 ~(x0 : Vec.t) ~h
           incr iters;
           stats.Types.newton_iters <- stats.Types.newton_iters + 1;
           Obs.Metrics.incr Obs.Metrics.Newton_iter;
+          (* nominal per-iteration charge: residual assembly, the
+             correction axpy and both convergence norms; the rhs and
+             the LU solve charge themselves *)
+          Obs.Cost.charge Obs.Cost.Flops_stepper (11 * n)
+            ~read:(14 * n) ~written:(8 * n);
           let fz = sys.Types.rhs tn1 !z in
           stats.Types.rhs_evals <- stats.Types.rhs_evals + 1;
           (* residual F(z) *)

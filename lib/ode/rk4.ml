@@ -4,6 +4,11 @@ open La
 
 let step (sys : Types.system) stats t h (x : Vec.t) : Vec.t =
   let open Types in
+  (* Nominal stepper charge: three stage combines (add + scale) plus
+     the four-term output axpy; rhs evaluations charge themselves. *)
+  let n = Array.length x in
+  Obs.Cost.charge Obs.Cost.Flops_stepper (14 * n)
+    ~read:(15 * n) ~written:(11 * n);
   let k1 = sys.rhs t x in
   let k2 = sys.rhs (t +. (0.5 *. h)) (Vec.add x (Vec.scale (0.5 *. h) k1)) in
   let k3 = sys.rhs (t +. (0.5 *. h)) (Vec.add x (Vec.scale (0.5 *. h) k2)) in

@@ -41,6 +41,15 @@ let c = [| 0.0; 0.25; 0.375; 12.0 /. 13.0; 1.0; 0.5 |]
 (* One embedded step: returns (5th-order next state, error estimate). *)
 let attempt (sys : Types.system) stats t h (x : Vec.t) =
   let open Types in
+  (* Nominal per-attempt charge, identical for accepted and rejected
+     attempts: the tableau's 24 nonzero-coefficient axpys (the
+     Contract.nonzero skips act on fixed constants, so the count is a
+     constant of the method), seven stage copies, the embedded
+     difference, and the caller's weighted RMS error norm.  Rhs
+     evaluations charge themselves. *)
+  let n = Array.length x in
+  Obs.Cost.charge Obs.Cost.Flops_stepper (54 * n)
+    ~read:(59 * n) ~written:(32 * n);
   let combine coeffs ks =
     let out = Vec.copy x in
     Array.iteri

@@ -88,6 +88,14 @@ let b_col t i = Mat.col t.b i
 let rhs t (x : Vec.t) (u : Vec.t) : Vec.t =
   Contract.require_len "Qldae.rhs: x" ~expected:t.n ~actual:(Array.length x);
   Contract.require_len "Qldae.rhs: u" ~expected:t.m ~actual:(Array.length u);
+  (* Nominal un-leafed charge for the accumulation glue (tensor-term
+     axpys, input columns and their axpys), unconditional so the count
+     is a constant of the system shape, not of the input waveform; the
+     matvec and sparse-tensor applies charge themselves. *)
+  Obs.Cost.charge Obs.Cost.Flops_ode_rhs
+    ((4 * t.n) + (5 * t.n * t.m))
+    ~read:((4 * t.n) + (5 * t.n * t.m))
+    ~written:((2 + (2 * t.m)) * t.n);
   let out = Mat.mul_vec t.g1 x in
   if has_g2 t then Vec.axpy ~alpha:1.0 (Sptensor.apply_pow t.g2 x) out;
   if has_g3 t then Vec.axpy ~alpha:1.0 (Sptensor.apply_pow t.g3 x) out;

@@ -1,0 +1,336 @@
+(* Tests for the deterministic cost model (lib/obs/cost.ml, DESIGN.md
+   §15): tick/merge exactness of the per-domain accumulators under 4
+   domains, bit-identical fig2/fig3 cost counters across repeated runs
+   and across 1-vs-4-domain executions, per-span cost deltas summing to
+   the process-wide delta, JSONL round-trips of cost.* members, the
+   bench gate's exact (zero-tolerance) cost bands, and the
+   bench-history append/load/render round-trip. *)
+
+open La
+module Par = Vmor.Par
+module Cost = Obs.Cost
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let cost_list = Alcotest.(list (pair string int))
+
+let named deltas = List.map (fun (c, n) -> (Cost.name c, n)) deltas
+
+(* ---- tick/merge exactness under 4 domains ---- *)
+
+let test_merge_exact_4domains () =
+  let snap = Cost.snapshot () in
+  let iters = 1_000 in
+  Par.with_domains (Some 4) (fun () ->
+      Par.parallel_for ~min_chunk:1 ~lo:0 ~hi:iters (fun _ ->
+          Cost.charge Cost.Flops_axpy 3 ~read:2 ~written:1;
+          Cost.charge Cost.Flops_matvec 5));
+  let deltas = Cost.since snap in
+  let get c = Option.value ~default:0 (List.assoc_opt c deltas) in
+  (* every lane's ticks must merge exactly: no lost updates, no
+     double-counting, regardless of which domain ran which index *)
+  check_int "flops_axpy merged exactly" (3 * iters) (get Cost.Flops_axpy);
+  check_int "flops_matvec merged exactly" (5 * iters) (get Cost.Flops_matvec);
+  check_int "bytes_read merged exactly" (8 * 2 * iters) (get Cost.Bytes_read);
+  check_int "bytes_written merged exactly" (8 * iters) (get Cost.Bytes_written);
+  check_int "total_flops sums the flops rows" (8 * iters)
+    (Cost.total_flops deltas);
+  check_int "total_bytes sums the byte rows" (8 * 3 * iters)
+    (Cost.total_bytes deltas)
+
+let test_disabled_is_noop () =
+  let snap = Cost.snapshot () in
+  Cost.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Cost.set_enabled true)
+    (fun () -> Cost.charge Cost.Flops_lu 1_000 ~read:10 ~written:10);
+  Alcotest.(check cost_list) "disabled charge leaves no trace" []
+    (named (Cost.since snap))
+
+(* ---- fig2/fig3 cost determinism: runs and domain counts ---- *)
+
+let cost_of ~domains f =
+  let snap = Cost.snapshot () in
+  Par.with_domains domains (fun () -> ignore (Sys.opaque_identity (f ())));
+  named (Cost.since snap)
+
+let test_fig_determinism () =
+  List.iter
+    (fun (name, build) ->
+      let run domains () = cost_of ~domains build in
+      let first = run (Some 1) () in
+      check_bool (name ^ " produces cost counters") true (first <> []);
+      Alcotest.(check cost_list)
+        (name ^ " cost identical across repeated runs")
+        first (run (Some 1) ());
+      Alcotest.(check cost_list)
+        (name ^ " cost identical at --domains 4")
+        first (run (Some 4) ()))
+    [
+      ( "fig2",
+        fun () -> Experiments.Paper.fig2 ~scale:0.25 ~samples:41 () );
+      ( "fig3",
+        fun () -> Experiments.Paper.fig3 ~scale:0.25 ~samples:41 () );
+    ]
+
+(* ---- per-span cost deltas ---- *)
+
+let with_memory_sink f =
+  let sink, captured = Obs.Sink.memory () in
+  Obs.Sink.set sink;
+  Fun.protect ~finally:(fun () -> Obs.Sink.set Obs.Sink.null) (fun () -> f ());
+  captured ()
+
+let test_span_cost_attribution () =
+  let snap = Cost.snapshot () in
+  let c =
+    with_memory_sink (fun () ->
+        Obs.Span.with_ ~name:"outer" (fun () ->
+            Cost.charge Cost.Flops_axpy 10 ~read:4 ~written:2;
+            Obs.Span.with_ ~name:"inner" (fun () ->
+                Cost.charge Cost.Flops_matvec 200 ~read:50 ~written:5)))
+  in
+  let total = named (Cost.since snap) in
+  let find name =
+    List.find (fun (s : Obs.Sink.span_record) -> s.Obs.Sink.name = name) c.Obs.Sink.spans
+  in
+  let outer = find "outer" and inner = find "inner" in
+  (* spans carry inclusive deltas: the root span's cost IS the
+     process-wide delta of the region it covers *)
+  Alcotest.(check cost_list) "outer span cost = process delta" total
+    outer.Obs.Sink.cost;
+  Alcotest.(check cost_list) "inner span sees only its own charges"
+    [ ("flops_matvec", 200); ("bytes_read", 400); ("bytes_written", 40) ]
+    inner.Obs.Sink.cost;
+  (* a real reduction's root span must agree with the counters too
+     (model built before the snapshot — its assembly charges are not
+     part of the reduction span) *)
+  let q =
+    Circuit.Models.qldae (Circuit.Models.nltl ~stages:8 ~source:(`Voltage 1.0) ())
+  in
+  let snap2 = Cost.snapshot () in
+  let c2 =
+    with_memory_sink (fun () ->
+        ignore
+          (Mor.Atmor.reduce ~orders:{ Mor.Atmor.k1 = 4; k2 = 2; k3 = 1 } q))
+  in
+  let total2 = named (Cost.since snap2) in
+  let root =
+    List.find (fun (s : Obs.Sink.span_record) -> s.Obs.Sink.name = "atmor.reduce") c2.Obs.Sink.spans
+  in
+  Alcotest.(check cost_list) "atmor.reduce span cost = process delta" total2
+    root.Obs.Sink.cost
+
+(* ---- JSONL round-trip ---- *)
+
+let test_jsonl_roundtrip () =
+  let cost =
+    [ ("flops_lu", 144_000); ("flops_trisolve", 7_200); ("bytes_read", 57_600) ]
+  in
+  let j =
+    Obs.Sink.span_to_json
+      {
+        Obs.Sink.name = "lu.factor";
+        depth = 2;
+        start = 0.5;
+        dur = 0.001;
+        counters = [ ("lu_factor", 1) ];
+        cost;
+        prof = None;
+      }
+  in
+  check_bool "cost members rendered flat" true (contains ~needle:"\"cost.flops_lu\":144000" j);
+  (match Obs.Trace.parse_line j with
+  | Obs.Trace.Span s ->
+    Alcotest.(check cost_list) "cost survives the round-trip" cost
+      s.Obs.Sink.cost;
+    Alcotest.(check cost_list) "counters survive alongside cost"
+      [ ("lu_factor", 1) ] s.Obs.Sink.counters
+  | _ -> Alcotest.fail "expected a span record");
+  (* spans without cost parse to an empty list (older traces) *)
+  match
+    Obs.Trace.parse_line
+      {|{"type":"span","name":"old","depth":0,"start":0,"dur":1,"counters":{}}|}
+  with
+  | Obs.Trace.Span s ->
+    Alcotest.(check cost_list) "absent cost parses empty" [] s.Obs.Sink.cost
+  | _ -> Alcotest.fail "expected a span record"
+
+(* ---- flops-rate zero-duration guard ---- *)
+
+let test_flops_rate_guard () =
+  check_bool "zero-duration span renders n/a" true
+    (String.equal "n/a" (Obs.Trace.flops_rate ~flops:1000 ~seconds:0.0));
+  check_bool "sub-picosecond renders n/a" true
+    (String.equal "n/a" (Obs.Trace.flops_rate ~flops:1000 ~seconds:1e-13));
+  check_bool "non-finite renders n/a" true
+    (String.equal "n/a" (Obs.Trace.flops_rate ~flops:1000 ~seconds:Float.nan));
+  check_bool "normal rate renders a number" true
+    (String.equal "2e+06" (Obs.Trace.flops_rate ~flops:1000 ~seconds:5e-4))
+
+(* ---- bench gate: exact cost bands ---- *)
+
+let cost_bench ?cost () =
+  let cost_member =
+    match cost with
+    | None -> ""
+    | Some entries ->
+      Printf.sprintf {|"cost": {%s},|}
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf {|"%s": %d|} k v) entries))
+  in
+  Printf.sprintf
+    {|{
+  "scale": 0.25,
+  "experiments": [
+    {
+      "id": "fig_cost",
+      "title": "cost gate test",
+      "full_states": 40,
+      "wall_seconds": 1.0,
+      "counters": {"lu_factor": 100},
+      %s
+      "roms": []
+    }
+  ]
+}|}
+    cost_member
+
+let gate ?(ignore_wall = true) old_s new_s =
+  Gatecheck.check ~ignore_wall ~baseline:(Gatecheck.parse old_s)
+    ~fresh:(Gatecheck.parse new_s) ()
+
+let test_gate_cost_exact () =
+  let entries = [ ("flops_lu", 144_000); ("bytes_read", 57_600) ] in
+  let base = cost_bench ~cost:entries () in
+  check_int "identical cost passes" 0 (List.length (gate base base));
+  (* exact band: a single-flop drift is a violation *)
+  let drift = cost_bench ~cost:[ ("flops_lu", 144_001); ("bytes_read", 57_600) ] () in
+  (match gate base drift with
+  | [ v ] ->
+    check_bool "violation names the cost counter" true
+      (contains ~needle:"flops_lu" v.Gatecheck.metric);
+    check_bool "band is exact" true (String.equal "exact" v.Gatecheck.allowed)
+  | vs -> Alcotest.fail (Printf.sprintf "expected 1 violation, got %d" (List.length vs)));
+  (* a counter vanishing (or appearing) fails via the union walk *)
+  check_int "cost counter vanishing fails" 1
+    (List.length (gate base (cost_bench ~cost:[ ("flops_lu", 144_000) ] ())));
+  (* structural presence mirrors the gc block *)
+  check_int "cost block disappearing fails" 1
+    (List.length (gate base (cost_bench ())));
+  check_int "cost block appearing fails (refresh baseline)" 1
+    (List.length (gate (cost_bench ()) base));
+  check_int "cost absent on both sides passes" 0
+    (List.length (gate (cost_bench ()) (cost_bench ())));
+  (* cost bands hold even when wall checks are skipped: --ignore-wall
+     must not disable the deterministic perf pin *)
+  check_int "exact band enforced under --ignore-wall" 1
+    (List.length (gate ~ignore_wall:true base drift));
+  check_int "exact band enforced with wall checks on" 1
+    (List.length (gate ~ignore_wall:false base drift))
+
+(* ---- bench history: append/load/render round-trip ---- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vmor_cost_test_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  let cleanup () =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let test_history_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let bench_src =
+    {|{
+  "scale": 0.25,
+  "experiments": [
+    {
+      "id": "fig2",
+      "title": "history test",
+      "full_states": 40,
+      "wall_seconds": 0.5,
+      "counters": {"lu_factor": 10},
+      "cost": {"flops_lu": 1000, "flops_matvec": 500, "bytes_read": 800},
+      "roms": [{"method": "at", "order": 8, "raw_moments": 12,
+                "reduction_seconds": 0.1, "max_rel_error": 0.00125}]
+    }
+  ]
+}|}
+  in
+  let src = Filename.concat dir "bench_src.json" in
+  let oc = open_out src in
+  output_string oc bench_src;
+  close_out oc;
+  let p7 = Benchhistory.append ~pr:7 ~src ~dir in
+  let p9 = Benchhistory.append ~pr:9 ~src ~dir in
+  check_bool "snapshot named BENCH_9.json" true
+    (String.equal (Filename.basename p9) "BENCH_9.json");
+  check_bool "snapshot written" true (Sys.file_exists p7);
+  let series = Benchhistory.load_series ~dir in
+  check_int "both snapshots load" 2 (List.length series);
+  (match series with
+  | [ a; b ] ->
+    check_int "sorted by pr" 7 a.Benchhistory.pr;
+    check_int "sorted by pr (second)" 9 b.Benchhistory.pr;
+    (match a.Benchhistory.bench.Gatecheck.experiments with
+    | [ e ] ->
+      check_bool "embedded bench round-trips through the gate parser" true
+        (e.Gatecheck.cost
+        = Some
+            [ ("flops_lu", 1000); ("flops_matvec", 500); ("bytes_read", 800) ])
+    | _ -> Alcotest.fail "expected one experiment")
+  | _ -> Alcotest.fail "expected two entries");
+  let table = Benchhistory.render_table series in
+  check_bool "table names the experiment" true (contains ~needle:"== fig2 ==" table);
+  check_bool "table sums flops" true (contains ~needle:"1500" table);
+  check_bool "table shows orders" true (contains ~needle:"8" table);
+  let csv = Benchhistory.render_csv series in
+  check_bool "csv has the header" true
+    (contains ~needle:"experiment,pr,wall_seconds,flops,flops_per_sec" csv);
+  check_bool "csv has one row per pr" true
+    (contains ~needle:"fig2,7," csv && contains ~needle:"fig2,9," csv);
+  (* a malformed source must be rejected before it poisons the series *)
+  let badsrc = Filename.concat dir "bad.json" in
+  let oc = open_out badsrc in
+  output_string oc "{\"not\": \"a bench\"}";
+  close_out oc;
+  check_bool "append validates through the gate parser" true
+    (match Benchhistory.append ~pr:10 ~src:badsrc ~dir with
+    | (_ : string) -> false
+    | exception Benchhistory.Bad_history _ -> true)
+
+let suite =
+  [
+    ( "cost",
+      [
+        Alcotest.test_case "4-domain tick/merge exactness" `Quick
+          test_merge_exact_4domains;
+        Alcotest.test_case "disabled charges are no-ops" `Quick
+          test_disabled_is_noop;
+        Alcotest.test_case "fig2/fig3 cost determinism (runs, domains)" `Slow
+          test_fig_determinism;
+        Alcotest.test_case "per-span cost deltas sum to process delta" `Quick
+          test_span_cost_attribution;
+        Alcotest.test_case "cost.* JSONL round-trip" `Quick
+          test_jsonl_roundtrip;
+        Alcotest.test_case "flops-rate zero-duration guard" `Quick
+          test_flops_rate_guard;
+        Alcotest.test_case "gate: exact cost bands" `Quick
+          test_gate_cost_exact;
+        Alcotest.test_case "bench-history round-trip" `Quick
+          test_history_roundtrip;
+      ] );
+  ]

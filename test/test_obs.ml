@@ -165,12 +165,13 @@ let test_jsonl_rendering () =
       start = 1.5;
       dur = 0.25;
       counters = [ ("lu_factor", 1); ("matvec", 42) ];
+      cost = [ ("flops_matvec", 7200) ];
       prof = None;
     }
   in
   Alcotest.(check string)
     "span json"
-    "{\"type\":\"span\",\"name\":\"atmor.reduce\",\"depth\":1,\"start\":1.500000,\"dur\":0.250000,\"counters\":{\"lu_factor\":1,\"matvec\":42}}"
+    "{\"type\":\"span\",\"name\":\"atmor.reduce\",\"depth\":1,\"start\":1.500000,\"dur\":0.250000,\"counters\":{\"lu_factor\":1,\"matvec\":42},\"cost.flops_matvec\":7200}"
     (Obs.Sink.span_to_json span);
   let event =
     {

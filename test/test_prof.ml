@@ -65,7 +65,7 @@ let test_prof_disabled () =
   let j =
     Obs.Sink.span_to_json
       { Obs.Sink.name = "quiet"; depth = 0; start = 0.0; dur = 0.1;
-        counters = []; prof = None }
+        counters = []; cost = []; prof = None }
   in
   check_bool "no prof fields rendered" false (contains j "prof.")
 
@@ -84,7 +84,7 @@ let test_prof_jsonl_roundtrip () =
   let j =
     Obs.Sink.span_to_json
       { Obs.Sink.name = "k"; depth = 0; start = 1.0; dur = 0.5;
-        counters = [ ("matvec", 7) ]; prof = Some p }
+        counters = [ ("matvec", 7) ]; cost = [ ("flops_matvec", 840) ]; prof = Some p }
   in
   match Obs.Trace.parse_line j with
   | Obs.Trace.Span s -> (
@@ -115,7 +115,7 @@ let synthetic_records () =
       }
   in
   let span name depth start dur prof =
-    Obs.Trace.Span { Obs.Sink.name; depth; start; dur; counters = []; prof }
+    Obs.Trace.Span { Obs.Sink.name; depth; start; dur; counters = []; cost = []; prof }
   in
   [
     span "g" 2 0.05 0.1 (prof 100.0 10.0);
@@ -240,7 +240,7 @@ let test_folded_sums () =
       [
         Obs.Trace.Span
           { Obs.Sink.name = "a b;c"; depth = 0; start = 0.0; dur = 0.001;
-            counters = []; prof = None };
+            counters = []; cost = []; prof = None };
       ]
   in
   check_bool "sanitized name" true
@@ -254,7 +254,7 @@ let test_diff_zero_guard () =
       [
         Obs.Trace.Span
           { Obs.Sink.name = "run"; depth = 0; start = 0.0; dur = 0.5;
-            counters; prof = None };
+            counters; cost = []; prof = None };
       ]
   in
   (* counter present in both traces but zero in the old one: the

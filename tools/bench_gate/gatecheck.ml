@@ -65,6 +65,10 @@ type experiment = {
   full_states : int;
   wall_seconds : float;
   counters : (string * int) list;
+  cost : (string * int) list option;
+      (* Obs.Cost work counters (flops/bytes); nominal dimension-driven
+         charges, so exact by construction — [None] only for baselines
+         predating the cost model *)
   gc : (float * float) option;  (* minor_words, major_words *)
   roms : rom list;
 }
@@ -112,6 +116,10 @@ let parse (src : string) : bench =
           List.map
             (fun (k, v) -> (k, to_int v))
             (to_obj (member_exn "counters" j));
+        cost =
+          (match member "cost" j with
+          | Some c -> Some (List.map (fun (k, v) -> (k, to_int v)) (to_obj c))
+          | None -> None);
         gc =
           (match member "gc" j with
           | Some g ->
@@ -198,6 +206,22 @@ let check_count ~where ~metric acc old_v new_v =
     :: acc
   else acc
 
+(* exact, no band: Obs.Cost work counters are nominal functions of
+   operand dimensions only, so any drift is a real change in the work
+   performed (or in the charge model itself) and needs a deliberate
+   baseline refresh. *)
+let check_cost ~where ~metric acc old_v new_v =
+  if old_v = new_v then acc
+  else
+    {
+      where;
+      metric;
+      baseline = string_of_int old_v;
+      current = string_of_int new_v;
+      allowed = "exact";
+    }
+    :: acc
+
 (* exact-or-+-25%: GC word counts, see [gc_tolerance] *)
 let check_gc_words ~where ~metric acc old_v new_v =
   if old_v = new_v then acc
@@ -277,6 +301,31 @@ let check_experiment ~ignore_wall acc (old_e : experiment) (new_e : experiment) 
         check_count ~where ~metric:("counter " ^ n) acc (get old_e.counters n)
           (get new_e.counters n))
       acc names
+  in
+  (* The cost block is structural first (its disappearance means the
+     bench stopped recording work counters; its appearance means the
+     baseline predates the cost model and needs a refresh), then exact
+     over the union of counter names.  Deliberately NOT gated by
+     [ignore_wall]: cost counters are the deterministic, wall-free
+     performance pin, so the runtest smoke enforces them too. *)
+  let acc =
+    match (old_e.cost, new_e.cost) with
+    | None, None -> acc
+    | Some _, None ->
+      structural ~where ~metric:"cost" ~baseline:"present" ~current:"missing"
+        acc
+    | None, Some _ ->
+      structural ~where ~metric:"cost" ~baseline:"absent (refresh baseline)"
+        ~current:"present" acc
+    | Some old_c, Some new_c ->
+      let names =
+        List.sort_uniq String.compare (List.map fst old_c @ List.map fst new_c)
+      in
+      List.fold_left
+        (fun acc n ->
+          check_cost ~where ~metric:("cost " ^ n) acc (get old_c n)
+            (get new_c n))
+        acc names
   in
   (* GC telemetry is structural first (a gc block that disappears means
      the bench stopped recording it), banded second *)
@@ -440,6 +489,42 @@ let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
   in
   let acc = check_par ~ignore_wall acc baseline.par fresh.par in
   List.rev acc
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Machine-readable violation list for `bench_gate --json OUT`
+   (mirrors vmor_lint --json): a schema tag, the overall verdict and
+   one record per violated band, so CI can archive and diff gate
+   outcomes without scraping the table. *)
+let render_json (violations : violation list) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"vmor.bench_gate/1\",\"ok\":%b,\"violations\":["
+       (violations = []));
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"where\":\"%s\",\"metric\":\"%s\",\"baseline\":\"%s\",\"current\":\"%s\",\"allowed\":\"%s\"}"
+           (json_escape v.where) (json_escape v.metric) (json_escape v.baseline)
+           (json_escape v.current) (json_escape v.allowed)))
+    violations;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
 
 let render (violations : violation list) : string =
   let b = Buffer.create 1024 in

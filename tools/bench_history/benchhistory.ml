@@ -1,0 +1,201 @@
+(* Per-PR bench trajectory: snapshot each PR's bench --json output into
+   a schema-versioned BENCH_<pr>.json at the repo root and render the
+   series — wall time, nominal flops, flops/s, ROM orders and accuracy
+   per experiment across PRs — as a table or CSV.
+
+   The appender embeds the bench JSON verbatim under a thin wrapper
+
+     {"history_schema": 1, "pr": N, "bench": { ... }}
+
+   so a snapshot stays byte-comparable with the bench/baseline.json
+   convention and [Gatecheck.parse] remains the single schema
+   authority: the loader re-renders the embedded object and feeds it
+   back through the same parser the gate uses.  Library so the test
+   suite and the @history-smoke alias can drive append/render
+   round-trips in-process; tools/bench_history/main.ml is the CLI and
+   `vmor bench-history` the user-facing renderer. *)
+
+let schema_version = 1
+
+type entry = { pr : int; bench : Gatecheck.bench }
+
+exception Bad_history of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_history s)) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let snapshot_name pr = Printf.sprintf "BENCH_%d.json" pr
+
+(* Parse one BENCH_<pr>.json wrapper; the embedded bench object goes
+   back through [Gatecheck.parse] so history snapshots can never drift
+   from the gate's schema. *)
+let parse_entry (src : string) : entry =
+  let open Obs.Json in
+  let json =
+    try parse src with Parse_error m -> bad "invalid JSON: %s" m
+  in
+  let version =
+    try to_int (member_exn "history_schema" json)
+    with Parse_error m -> bad "bad history schema: %s" m
+  in
+  if version <> schema_version then
+    bad "unsupported history_schema %d (expected %d)" version schema_version;
+  let pr =
+    try to_int (member_exn "pr" json)
+    with Parse_error m -> bad "bad history schema: %s" m
+  in
+  let bench_json =
+    match member "bench" json with
+    | Some b -> b
+    | None -> bad "bad history schema: missing \"bench\""
+  in
+  let bench =
+    try Gatecheck.parse (render bench_json)
+    with Gatecheck.Bad_bench m -> bad "embedded bench: %s" m
+  in
+  { pr; bench }
+
+(* Snapshot [src] (a bench --json file) as BENCH_<pr>.json in [dir];
+   returns the path written.  The source is validated through
+   [Gatecheck.parse] first — a malformed snapshot would poison every
+   later render. *)
+let append ~pr ~(src : string) ~(dir : string) : string =
+  let raw = read_file src in
+  (match Gatecheck.parse raw with
+  | (_ : Gatecheck.bench) -> ()
+  | exception Gatecheck.Bad_bench m -> bad "%s: %s" src m);
+  let path = Filename.concat dir (snapshot_name pr) in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"history_schema\": %d,\n \"pr\": %d,\n \"bench\": %s}\n"
+    schema_version pr (String.trim raw);
+  close_out oc;
+  path
+
+(* Every BENCH_<n>.json in [dir], sorted by PR number. *)
+let load_series ~(dir : string) : entry list =
+  let files =
+    try Array.to_list (Sys.readdir dir)
+    with Sys_error m -> bad "cannot read %s: %s" dir m
+  in
+  let snapshots =
+    List.filter
+      (fun f ->
+        String.length f > 7
+        && String.sub f 0 6 = "BENCH_"
+        && Filename.check_suffix f ".json"
+        && int_of_string_opt (Filename.chop_suffix (String.sub f 6 (String.length f - 6)) ".json")
+           <> None)
+      files
+  in
+  List.sort
+    (fun a b -> compare a.pr b.pr)
+    (List.map (fun f -> parse_entry (read_file (Filename.concat dir f))) snapshots)
+
+(* ---- derived per-experiment rows ---- *)
+
+let total_flops (e : Gatecheck.experiment) : int option =
+  match e.Gatecheck.cost with
+  | None -> None
+  | Some cost ->
+    Some
+      (List.fold_left
+         (fun acc (k, v) ->
+           if String.length k >= 6 && String.sub k 0 6 = "flops_" then acc + v
+           else acc)
+         0 cost)
+
+let orders_of (e : Gatecheck.experiment) : string =
+  match e.Gatecheck.roms with
+  | [] -> "-"
+  | roms ->
+    String.concat "+"
+      (List.map (fun (r : Gatecheck.rom) -> string_of_int r.Gatecheck.order) roms)
+
+let max_err_of (e : Gatecheck.experiment) : float =
+  List.fold_left
+    (fun acc (r : Gatecheck.rom) -> Float.max acc r.Gatecheck.max_rel_error)
+    0.0 e.Gatecheck.roms
+
+(* experiment ids in first-appearance order across the series *)
+let experiment_ids (series : entry list) : string list =
+  List.fold_left
+    (fun acc e ->
+      List.fold_left
+        (fun acc (x : Gatecheck.experiment) ->
+          if List.mem x.Gatecheck.id acc then acc else acc @ [ x.Gatecheck.id ])
+        acc e.bench.Gatecheck.experiments)
+    [] series
+
+let find_experiment (b : Gatecheck.bench) id =
+  List.find_opt
+    (fun (x : Gatecheck.experiment) -> String.equal x.Gatecheck.id id)
+    b.Gatecheck.experiments
+
+(* one trajectory row: pr, wall, flops, flops/s, orders, max_rel_error *)
+let row_of (pr : int) (e : Gatecheck.experiment) =
+  let wall = e.Gatecheck.wall_seconds in
+  let flops = total_flops e in
+  let flops_s = Option.fold ~none:"n/a" ~some:string_of_int flops in
+  (* zero-duration (or non-finite) walls render as n/a, same guard as
+     the report's flops/s column *)
+  let rate =
+    match flops with
+    | None -> "n/a"
+    | Some f -> Obs.Trace.flops_rate ~flops:f ~seconds:wall
+  in
+  ( string_of_int pr,
+    Printf.sprintf "%.4f" wall,
+    flops_s,
+    rate,
+    orders_of e,
+    Printf.sprintf "%.6f" (max_err_of e) )
+
+let render_table (series : entry list) : string =
+  let b = Buffer.create 2048 in
+  (match series with
+  | [] -> Buffer.add_string b "bench history: no BENCH_<pr>.json snapshots\n"
+  | _ ->
+    List.iter
+      (fun id ->
+        Buffer.add_string b (Printf.sprintf "== %s ==\n" id);
+        Buffer.add_string b
+          (Printf.sprintf "  %4s  %10s  %14s  %10s  %-8s  %12s\n" "pr" "wall_s"
+             "flops" "flops/s" "orders" "max_rel_err");
+        List.iter
+          (fun entry ->
+            match find_experiment entry.bench id with
+            | None -> ()
+            | Some e ->
+              let pr, wall, flops, rate, orders, err = row_of entry.pr e in
+              Buffer.add_string b
+                (Printf.sprintf "  %4s  %10s  %14s  %10s  %-8s  %12s\n" pr wall
+                   flops rate orders err))
+          series;
+        Buffer.add_char b '\n')
+      (experiment_ids series));
+  Buffer.contents b
+
+let render_csv (series : entry list) : string =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b
+    "experiment,pr,wall_seconds,flops,flops_per_sec,orders,max_rel_error\n";
+  List.iter
+    (fun id ->
+      List.iter
+        (fun entry ->
+          match find_experiment entry.bench id with
+          | None -> ()
+          | Some e ->
+            let pr, wall, flops, rate, orders, err = row_of entry.pr e in
+            Buffer.add_string b
+              (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s\n" id pr wall flops rate
+                 orders err))
+        series)
+    (experiment_ids series);
+  Buffer.contents b
