@@ -87,6 +87,20 @@ let budget_overheads : (string * float) list ref = ref []
    actually show one. *)
 let par_stats : (int * (string * float) list) option ref = ref None
 
+(* Request-latency distribution over N scoped fig2-ROM simulates
+   (latency pass below): wall p50/p99 plus the deterministic Qhist
+   fingerprint — synthetic values through the same bucket geometry —
+   whose counts and quantiles the gate pins with exact bands. *)
+type latency_det = {
+  det_count : int;
+  det_nonzero : int;
+  det_p50 : float;
+  det_p90 : float;
+  det_p99 : float;
+}
+
+let latency_stats : (int * float * float * latency_det) option ref = ref None
+
 let write_bench_json ?json_path ~scale () =
   match List.rev !bench_records with
   | [] -> ()
@@ -180,6 +194,19 @@ let write_bench_json ?json_path ~scale () =
             (Printf.sprintf ", \"%s\": %.6f" (json_escape name) v))
         walls;
       Buffer.add_string b "}");
+    (match !latency_stats with
+    | None -> ()
+    | Some (requests, p50, p99, det) ->
+      (* det quantiles in %.17g so the gate's exact bands compare the
+         identical doubles after a JSON round trip *)
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\n\
+           \  \"latency\": {\"requests\": %d, \"p50_s\": %.6f, \"p99_s\": \
+            %.6f, \"det\": {\"count\": %d, \"nonzero_buckets\": %d, \"p50\": \
+            %.17g, \"p90\": %.17g, \"p99\": %.17g}}"
+           requests p50 p99 det.det_count det.det_nonzero det.det_p50
+           det.det_p90 det.det_p99));
     Buffer.add_string b "\n}\n";
     output_string oc (Buffer.contents b);
     close_out oc;
@@ -852,6 +879,88 @@ let par_speedup ~scale () =
     cores serial w1 overhead1 w2 w4 speedup4;
   Printf.printf "(written to %s)\n\n%!" path
 
+(* ---- request latency (scoped fig2 simulates) ---- *)
+
+(* The service-loop shape: reduce the fig2 NLTL once, then answer N
+   repeated simulate requests out of the ROM, each inside an
+   [Obs.Scope] — the per-request telemetry primitive — so the
+   "scope.bench.request" Qhist accumulates a genuine latency
+   distribution whose p50/p99 land in bench.json for the gate's banded
+   wall checks.
+
+   Wall quantiles are noisy, so the block also carries a "det"
+   fingerprint the gate pins with *exact* bands even under
+   --ignore-wall: a fixed LCG-generated value stream (integer
+   arithmetic + ldexp only — bit-identical on every host) pushed
+   through the same Qhist geometry, recording bucket-population count
+   and p50/p90/p99.  Any drift in bucket indexing, merge arithmetic or
+   quantile interpolation moves these and fails the gate. *)
+let latency ~scale () =
+  Printf.printf "== request latency (scoped fig2-ROM simulates) ==\n%!";
+  let stages = max 4 (int_of_float (50.0 *. scale)) in
+  let q = Circuit.Models.qldae (Circuit.Models.nltl_voltage ~stages ()) in
+  let orders = { Mor.Atmor.k1 = 6; k2 = 3; k3 = 2 } in
+  let r =
+    Obs.Scope.with_ ~name:"bench.reduce" (fun () -> Vmor.reduce ~orders q)
+  in
+  let rom = Vmor.rom r in
+  let input =
+    Waves.Source.vectorize
+      (List.init (Volterra.Qldae.n_inputs rom) (fun _ ->
+           Waves.Source.damped_sine ~freq:0.125 ~decay:0.08 0.8))
+  in
+  let requests = 32 in
+  for _ = 1 to requests do
+    Obs.Scope.with_ ~name:"bench.request" (fun () ->
+        ignore
+          (Sys.opaque_identity (Vmor.transient ~samples:101 rom ~input ~t1:30.0)))
+  done;
+  let view =
+    match Obs.Qhist.view "scope.bench.request" with
+    | Some v -> v
+    | None -> assert false (* scopes always feed the Qhist *)
+  in
+  let p50 = Obs.Qhist.quantile view 0.5 in
+  let p99 = Obs.Qhist.quantile view 0.99 in
+  (* deterministic fingerprint: 4096 LCG values spanning ~12 octaves *)
+  let det_name = "bench.latency.det" in
+  let x = ref 123457 in
+  for _ = 1 to 4096 do
+    x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+    let m = 1.0 +. (float_of_int (!x land 0xFFFF) /. 65536.0) in
+    let e = ((!x lsr 16) mod 40) - 30 in
+    Obs.Qhist.observe det_name (Float.ldexp m e)
+  done;
+  let dv =
+    match Obs.Qhist.view det_name with Some v -> v | None -> assert false
+  in
+  let det =
+    {
+      det_count = dv.Obs.Qhist.count;
+      det_nonzero = Obs.Qhist.nonzero_buckets dv;
+      det_p50 = Obs.Qhist.quantile dv 0.5;
+      det_p90 = Obs.Qhist.quantile dv 0.9;
+      det_p99 = Obs.Qhist.quantile dv 0.99;
+    }
+  in
+  latency_stats := Some (requests, p50, p99, det);
+  ensure_out_dir ();
+  let path = Filename.concat out_dir "latency.csv" in
+  let oc = open_out path in
+  output_string oc "stat,value\n";
+  Printf.fprintf oc "requests,%d\np50_s,%.6f\np99_s,%.6f\n" requests p50 p99;
+  Printf.fprintf oc "det_count,%d\ndet_nonzero_buckets,%d\n" det.det_count
+    det.det_nonzero;
+  Printf.fprintf oc "det_p50,%.17g\ndet_p90,%.17g\ndet_p99,%.17g\n" det.det_p50
+    det.det_p90 det.det_p99;
+  close_out oc;
+  Printf.printf
+    "  %d requests on a %d-state ROM: p50 %.4fs  p99 %.4fs\n\
+    \  det fingerprint: %d obs in %d buckets, p50/p90/p99 = %.6g/%.6g/%.6g\n"
+    requests (Vmor.order r) p50 p99 det.det_count det.det_nonzero det.det_p50
+    det.det_p90 det.det_p99;
+  Printf.printf "(written to %s)\n\n%!" path
+
 let ablations ~scale () =
   ablation_block_vs_sylvester ();
   ablation_order_sweep ~scale ();
@@ -888,7 +997,7 @@ let () =
     | [] ->
       [
         "kernels"; "fig2"; "fig3"; "fig4"; "fig5"; "table1"; "ablation";
-        "recovery"; "obs"; "budget"; "par";
+        "recovery"; "obs"; "budget"; "par"; "latency";
       ]
     | cs -> cs
   in
@@ -914,10 +1023,11 @@ let () =
       | "obs" -> obs_overhead ()
       | "budget" -> budget_overhead ()
       | "par" -> par_speedup ~scale ()
+      | "latency" -> latency ~scale ()
       | other ->
         Printf.eprintf
           "unknown command %S (expected \
-           kernels|fig2|fig3|fig4|fig5|table1|ablation|recovery|obs|budget|par)\n"
+           kernels|fig2|fig3|fig4|fig5|table1|ablation|recovery|obs|budget|par|latency)\n"
           other;
         exit 2)
     commands;

@@ -411,6 +411,7 @@ let trace_cmd =
         Obs.Sink.on_span =
           (fun r -> mem.Obs.Sink.on_span r; js.Obs.Sink.on_span r);
         on_event = (fun r -> mem.Obs.Sink.on_event r; js.Obs.Sink.on_event r);
+        on_scope = (fun r -> mem.Obs.Sink.on_scope r; js.Obs.Sink.on_scope r);
         flush = (fun () -> js.Obs.Sink.flush ());
       };
     let q = build_model ~scale model in
@@ -422,7 +423,7 @@ let trace_cmd =
     let input = default_input q ~freq ~amp in
     let c = Vmor.compare_transient ~samples q r ~input ~t1 in
     Obs.Sink.set Obs.Sink.null;
-    let { Obs.Sink.spans; events } = captured () in
+    let { Obs.Sink.spans; events; scopes = _ } = captured () in
     Printf.printf
       "model %s: %d states -> %d, max rel error %.6f\n\
        trace: %d spans, %d events -> %s\n"
@@ -610,6 +611,86 @@ let bench_history_cmd =
     Term.(const (fun dir csv -> guarded (run dir csv)) $ dir_arg $ csv_arg
           $ const ())
 
+(* Service-shaped telemetry export: reduce once, answer N scoped
+   simulate requests out of the ROM, then render the OpenMetrics
+   exposition.  The workload mirrors the bench `latency` pass, so the
+   scraped histogram families carry genuine request-latency
+   distributions; the exposition is re-validated before it is written
+   so a format bug fails here rather than in the scraper. *)
+let metrics_cmd =
+  let requests_arg =
+    let doc =
+      "Scoped ROM simulate requests to run before the export (each is a \
+       $(b,Scope) named `request', feeding the vmor_hist_scope_request \
+       histogram)."
+    in
+    Arg.(value & opt int 8 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the exposition to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run model orders method_ points s0 tol scale t1 samples freq amp requests
+      out deadline max_steps max_iters domains () =
+    setup_logs (Some Logs.Warning);
+    if requests < 1 then raise (Usage_error "--requests must be >= 1");
+    Robust.Budget.with_budget (budget_of ~deadline ~max_steps ~max_iters)
+    @@ fun () ->
+    let q = build_model ~scale model in
+    let k1, k2, k3 = orders in
+    let options =
+      build_options ~method_ ~points ?s0 ~tol ?domains:(domains_of domains) ()
+    in
+    let r =
+      Obs.Scope.with_ ~name:"reduce" (fun () ->
+          Vmor.reduce ~options ~orders:{ k1; k2; k3 } q)
+    in
+    let rom = Vmor.rom r in
+    let input = default_input q ~freq ~amp in
+    for _i = 1 to requests do
+      Obs.Scope.with_ ~name:"request" (fun () ->
+          ignore (Vmor.transient ~samples rom ~input ~t1))
+    done;
+    let text = Obs.Openmetrics.render () in
+    (match Obs.Openmetrics.validate text with
+    | Ok () -> ()
+    | Error m ->
+      raise (Usage_error ("internal: invalid OpenMetrics exposition: " ^ m)));
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text);
+      (match Obs.Qhist.view "scope.request" with
+      | Some v ->
+        Printf.printf
+          "model %s: %d states -> %d; %d requests, p50 %.4gs p99 %.4gs\n"
+          model (Volterra.Qldae.dim q) (Vmor.order r) requests
+          (Obs.Qhist.quantile v 0.5) (Obs.Qhist.quantile v 0.99)
+      | None -> ());
+      Printf.printf "openmetrics -> %s\n" path);
+    finish_with_report (Vmor.degradation r)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a service-shaped workload (reduce once, N scoped ROM simulate \
+          requests) and export the OpenMetrics/Prometheus text exposition \
+          (counters, cost counters, gauges, latency histograms).")
+    Term.(
+      const
+        (fun model orders method_ points s0 tol scale t1 samples freq amp
+             requests out deadline max_steps max_iters domains ->
+          guarded
+            (run model orders method_ points s0 tol scale t1 samples freq amp
+               requests out deadline max_steps max_iters domains))
+      $ model_arg $ orders_arg $ method_arg $ points_arg $ s0_arg $ tol_arg
+      $ scale_arg $ t1_arg $ samples_arg $ freq_arg $ amp_arg $ requests_arg
+      $ out_arg $ deadline_arg $ max_steps_arg $ max_iters_arg $ domains_arg
+      $ const ())
+
 let autoselect_cmd =
   let run model scale trace metrics deadline max_steps max_iters domains () =
     setup_logs (Some Logs.Warning);
@@ -739,6 +820,7 @@ let () =
             trace_cmd;
             report_cmd;
             profile_cmd;
+            metrics_cmd;
             bench_history_cmd;
             autoselect_cmd;
             distortion_cmd;

@@ -124,6 +124,22 @@ let since (snap : snapshot) =
       if d = 0 then None else Some (c, d))
     all
 
+(* Domain-local snapshots: same contract as [Metrics.local_snapshot]
+   — exact per-scope deltas without locking, valid on the snapshotting
+   domain only. *)
+
+type local_snapshot = int array
+
+let local_snapshot () = Array.copy (Domain.DLS.get slot)
+
+let local_since (snap : local_snapshot) =
+  let a = Domain.DLS.get slot in
+  List.filter_map
+    (fun c ->
+      let d = a.(index c) - snap.(index c) in
+      if d = 0 then None else Some (c, d))
+    all
+
 let reset () =
   Mutex.protect mu (fun () ->
       List.iter (fun a -> Array.fill a 0 n_counters 0) !domains)

@@ -67,6 +67,17 @@ val snapshot : unit -> snapshot
 val since : snapshot -> (counter * int) list
 (** Nonzero deltas accumulated since the snapshot, in {!all} order. *)
 
+type local_snapshot
+(** The calling domain's own accumulator at a point in time. *)
+
+val local_snapshot : unit -> local_snapshot
+(** Copy the calling domain's cost array — no lock, no merge.  Same
+    contract as [Metrics.local_snapshot]: exact on the snapshotting
+    domain even while other domains run ({!Scope}'s primitive). *)
+
+val local_since : local_snapshot -> (counter * int) list
+(** Nonzero deltas on the calling domain since [local_snapshot]. *)
+
 val reset : unit -> unit
 (** Zero every registered per-domain accumulator. *)
 

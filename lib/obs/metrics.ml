@@ -117,29 +117,26 @@ let gauges () =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 (* ------------------------------------------------------------------ *)
-(* Histograms: streaming count/sum/min/max per name.                  *)
+(* Histograms: backed by the deterministic bucketed [Qhist] store.    *)
 
-type hstat = { count : int; sum : float; minv : float; maxv : float }
+type hstat = { count : int; sum : float; sumsq : float;
+               minv : float; maxv : float }
 
-let hist_tbl : (string, hstat) Hashtbl.t =
-  Hashtbl.create 16 [@@vmor.sync "guarded by mu"]
+let observe k v = if Atomic.get enabled then Qhist.observe k v
 
-let observe k v =
-  if Atomic.get enabled then
-    Mutex.protect mu (fun () ->
-        let h =
-          match Hashtbl.find_opt hist_tbl k with
-          | None -> { count = 1; sum = v; minv = v; maxv = v }
-          | Some h ->
-            { count = h.count + 1; sum = h.sum +. v;
-              minv = min h.minv v; maxv = max h.maxv v }
-        in
-        Hashtbl.replace hist_tbl k h)
+let hstat_of_view (v : Qhist.view) =
+  { count = v.Qhist.count; sum = v.Qhist.sum; sumsq = v.Qhist.sumsq;
+    minv = v.Qhist.minv; maxv = v.Qhist.maxv }
 
 let histograms () =
-  Mutex.protect mu (fun () ->
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist_tbl [])
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  List.map (fun (k, v) -> (k, hstat_of_view v)) (Qhist.all ())
+
+let hstddev (h : hstat) =
+  if h.count = 0 then Float.nan
+  else begin
+    let m = h.sum /. float_of_int h.count in
+    sqrt (Float.max 0.0 ((h.sumsq /. float_of_int h.count) -. (m *. m)))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots and deltas.                                              *)
@@ -159,29 +156,54 @@ let since (snap : snapshot) =
 let reset () =
   Mutex.protect mu (fun () ->
       List.iter (fun a -> Array.fill a 0 n_counters 0) !domains;
-      Hashtbl.reset gauge_tbl;
-      Hashtbl.reset hist_tbl)
+      Hashtbl.reset gauge_tbl);
+  Qhist.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local snapshots (the [Scope] primitive).
+
+   [local_snapshot] copies only the calling domain's accumulator —
+   no lock, no merge — and [local_since] diffs against it on the same
+   domain.  Because a domain's array is written by that domain alone,
+   the delta is exact even while other domains are running: this is
+   what keeps concurrent scopes from smearing each other's counts. *)
+
+type local_snapshot = int array
+
+let local_snapshot () = Array.copy (Domain.DLS.get slot)
+
+let local_since (snap : local_snapshot) =
+  let a = Domain.DLS.get slot in
+  List.filter_map
+    (fun c ->
+      let d = a.(index c) - snap.(index c) in
+      if d = 0 then None else Some (c, d))
+    all
 
 (* ------------------------------------------------------------------ *)
 (* Rendering.                                                         *)
 
+(* Histogram statistics get proper per-stat columns; counter and gauge
+   rows carry their single value in [value] and leave the stat columns
+   empty. *)
 let to_csv_string () =
   let now = merged () in
   let b = Buffer.create 512 in
-  Buffer.add_string b "kind,name,value\n";
+  Buffer.add_string b "kind,name,value,count,sum,sumsq,min,max,stddev\n";
   List.iter
     (fun c ->
       Buffer.add_string b
-        (Printf.sprintf "counter,%s,%d\n" (name c) now.(index c)))
+        (Printf.sprintf "counter,%s,%d,,,,,,\n" (name c) now.(index c)))
     all;
   List.iter
-    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "gauge,%s,%.9g\n" k v))
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "gauge,%s,%.9g,,,,,,\n" k v))
     (gauges ());
   List.iter
     (fun (k, h) ->
       Buffer.add_string b
-        (Printf.sprintf "histogram,%s,count=%d;sum=%.9g;min=%.9g;max=%.9g\n"
-           k h.count h.sum h.minv h.maxv))
+        (Printf.sprintf "histogram,%s,,%d,%.9g,%.9g,%.9g,%.9g,%.9g\n"
+           k h.count h.sum h.sumsq h.minv h.maxv (hstddev h)))
     (histograms ());
   Buffer.contents b
 
@@ -208,8 +230,10 @@ let render_table () =
   List.iter
     (fun (k, h) ->
       Buffer.add_string b
-        (Printf.sprintf "  %-24s n=%d avg=%.4g min=%.4g max=%.4g\n" k h.count
+        (Printf.sprintf "  %-24s n=%d avg=%.4g sd=%.4g min=%.4g max=%.4g\n" k
+           h.count
            (h.sum /. float_of_int (max 1 h.count))
+           (if h.count = 0 then 0.0 else hstddev h)
            h.minv h.maxv))
     (histograms ());
   Buffer.add_string b (rule ^ "\n");

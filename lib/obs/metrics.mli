@@ -51,13 +51,22 @@ val set_gauge : string -> float -> unit
 val gauges : unit -> (string * float) list
 (** All gauges, sorted by name. *)
 
-type hstat = { count : int; sum : float; minv : float; maxv : float }
+type hstat = { count : int; sum : float; sumsq : float;
+               minv : float; maxv : float }
+(** Summary view of one named histogram.  Backed by {!Qhist}: the full
+    bucketed distribution (and its deterministic quantiles) is
+    available through [Qhist.view] under the same name. *)
 
 val observe : string -> float -> unit
-(** Feed one observation into the named histogram. *)
+(** Feed one observation into the named histogram (a {!Qhist}
+    observation on the calling domain's accumulator). *)
 
 val histograms : unit -> (string * hstat) list
-(** All histograms, sorted by name. *)
+(** All histograms, merged across domains, sorted by name. *)
+
+val hstddev : hstat -> float
+(** Population standard deviation from [sum]/[sumsq], clamped at zero
+    against cancellation; [nan] when [count = 0]. *)
 
 type snapshot
 
@@ -67,11 +76,26 @@ val snapshot : unit -> snapshot
 val since : snapshot -> (counter * int) list
 (** Counter deltas accumulated after [snapshot], nonzero ones only. *)
 
+type local_snapshot
+(** The calling domain's own accumulator at a point in time. *)
+
+val local_snapshot : unit -> local_snapshot
+(** Copy the calling domain's counter array — no lock, no merge.  The
+    {!Scope} primitive: because a domain's array is written by that
+    domain alone, a [local_since] delta taken on the same domain is
+    exact even while other domains run concurrently. *)
+
+val local_since : local_snapshot -> (counter * int) list
+(** Nonzero deltas on the calling domain since [local_snapshot].  Only
+    meaningful on the domain that took the snapshot. *)
+
 val reset : unit -> unit
 (** Zero all counters and drop all gauges/histograms. *)
 
 val to_csv_string : unit -> string
-(** CSV summary ([kind,name,value] rows) of everything recorded. *)
+(** CSV summary: [kind,name,value,count,sum,sumsq,min,max,stddev]
+    rows — counters and gauges fill [value], histograms fill the
+    per-stat columns. *)
 
 val write_csv : string -> unit
 (** Write {!to_csv_string} to a file. *)

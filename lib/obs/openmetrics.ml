@@ -1,0 +1,391 @@
+(* OpenMetrics / Prometheus text exposition, hand-rendered.
+
+   One function renders everything the Obs layer knows — Metrics
+   counters, Cost counters, gauges, and every Qhist distribution as a
+   native histogram family — in the OpenMetrics text format
+   (# HELP / # TYPE metadata, samples, terminating # EOF).  Family
+   names are partitioned by prefix so the four sources can never
+   collide:
+
+     vmor_<counter>_total        kernel event counters
+     vmor_cost_<counter>_total   nominal flop/byte counters
+     vmor_gauge_<name>           last-write-wins gauges
+     vmor_hist_<name>            Qhist histograms (_bucket/_sum/_count)
+     vmor_build_info             build metadata
+
+   Histogram _bucket samples are cumulative with [le] upper-edge
+   labels; only nonzero buckets are emitted (plus the mandatory +Inf)
+   — sparse emission is valid because the counts are cumulative.
+
+   [validate] is an independent line-format checker used by the tests
+   and the openmetrics smoke alias: it re-parses an exposition string
+   and enforces the structural rules (metadata before samples, known
+   sample suffixes, monotone cumulative buckets, +Inf terminal bucket
+   matching _count, single trailing # EOF).  Renderer and validator
+   are written against the spec separately, so a drift in either
+   fails the round-trip test. *)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                         *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+(* Metric names admit [a-zA-Z_][a-zA-Z0-9_]*; anything else maps to '_'. *)
+let sanitize s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.iteri
+      (fun i c ->
+        let ok = if i = 0 then is_name_start c else is_name_char c in
+        if not ok then Bytes.set b i '_')
+      b;
+    Bytes.to_string b
+  end
+
+let label_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips every double and is deterministic for a given
+   bit pattern — bucket edges are dyadic, so the labels are exact. *)
+let float_label v =
+  if v = Float.infinity then "+Inf" else Printf.sprintf "%.17g" v
+
+let float_value v =
+  if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else Printf.sprintf "%.17g" v
+
+let render () =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let meta name typ help =
+    line "# HELP %s %s" name help;
+    line "# TYPE %s %s" name typ
+  in
+  (* kernel event counters *)
+  List.iter
+    (fun c ->
+      let fam = "vmor_" ^ Metrics.name c in
+      meta fam "counter" "vmor kernel event counter";
+      line "%s_total %d" fam (Metrics.get c))
+    Metrics.all;
+  (* nominal cost counters *)
+  List.iter
+    (fun c ->
+      let fam = "vmor_cost_" ^ Cost.name c in
+      meta fam "counter" "vmor deterministic nominal work counter";
+      line "%s_total %d" fam (Cost.get c))
+    Cost.all;
+  (* gauges *)
+  List.iter
+    (fun (k, v) ->
+      let fam = "vmor_gauge_" ^ sanitize k in
+      meta fam "gauge" "vmor last-write-wins gauge";
+      line "%s %s" fam (float_value v))
+    (Metrics.gauges ());
+  (* Qhist distributions as native histograms *)
+  List.iter
+    (fun (k, (v : Qhist.view)) ->
+      let fam = "vmor_hist_" ^ sanitize k in
+      meta fam "histogram" "vmor deterministic log-linear histogram";
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          (* the overflow bucket's upper edge IS +Inf: its population is
+             carried by the mandatory terminal +Inf bucket below, so
+             emitting it here would duplicate the le="+Inf" sample *)
+          if c > 0 && i < Qhist.n_buckets - 1 then begin
+            cum := !cum + c;
+            line "%s_bucket{le=\"%s\"} %d" fam
+              (float_label (Qhist.upper_bound i))
+              !cum
+          end)
+        v.Qhist.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" fam v.Qhist.count;
+      line "%s_sum %s" fam (float_value v.Qhist.sum);
+      line "%s_count %d" fam v.Qhist.count)
+    (Qhist.all ());
+  (* build metadata *)
+  meta "vmor_build" "info" "vmor build metadata";
+  line "vmor_build_info{ocaml_version=\"%s\"} 1"
+    (label_escape Sys.ocaml_version);
+  line "# EOF";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Line-format validation.                                            *)
+
+exception Invalid of string
+
+let invalid lineno fmt =
+  Printf.ksprintf (fun m -> raise (Invalid (Printf.sprintf "line %d: %s" lineno m))) fmt
+
+let valid_name s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* Split "name{labels} value" / "name value" into its three parts.
+   Label values are double-quoted with backslash escapes; braces or
+   spaces inside quoted values are part of the value. *)
+let split_sample lineno s =
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n && is_name_char s.[!i] do incr i done;
+  if !i = 0 then invalid lineno "sample does not start with a metric name";
+  let name = String.sub s 0 !i in
+  let labels =
+    if !i < n && s.[!i] = '{' then begin
+      let start = !i + 1 in
+      let j = ref start and in_str = ref false and esc = ref false
+      and close = ref (-1) in
+      while !close < 0 && !j < n do
+        let c = s.[!j] in
+        if !esc then esc := false
+        else if !in_str then begin
+          if c = '\\' then esc := true else if c = '"' then in_str := false
+        end
+        else if c = '"' then in_str := true
+        else if c = '}' then close := !j;
+        incr j
+      done;
+      if !close < 0 then invalid lineno "unterminated label set";
+      let body = String.sub s start (!close - start) in
+      i := !close + 1;
+      Some body
+    end
+    else None
+  in
+  if !i >= n || s.[!i] <> ' ' then
+    invalid lineno "expected a space before the sample value";
+  let value = String.sub s (!i + 1) (n - !i - 1) in
+  (name, labels, value)
+
+(* Parse one label set body into (name, unescaped value) pairs. *)
+let parse_labels lineno body =
+  let n = String.length body in
+  let pos = ref 0 and out = ref [] in
+  while !pos < n do
+    let start = !pos in
+    while !pos < n && is_name_char body.[!pos] do incr pos done;
+    if !pos = start then invalid lineno "empty label name";
+    let lname = String.sub body start (!pos - start) in
+    if not (valid_name lname) then invalid lineno "invalid label name %S" lname;
+    if !pos + 1 >= n || body.[!pos] <> '=' || body.[!pos + 1] <> '"' then
+      invalid lineno "label %S is not followed by =\"...\"" lname;
+    pos := !pos + 2;
+    let buf = Buffer.create 16 in
+    let closed = ref false in
+    while not !closed do
+      if !pos >= n then invalid lineno "unterminated label value for %S" lname;
+      (match body.[!pos] with
+      | '\\' ->
+        if !pos + 1 >= n then invalid lineno "dangling escape in label value";
+        (match body.[!pos + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        pos := !pos + 1
+      | '"' -> closed := true
+      | c -> Buffer.add_char buf c);
+      incr pos
+    done;
+    out := (lname, Buffer.contents buf) :: !out;
+    if !pos < n then begin
+      if body.[!pos] <> ',' then
+        invalid lineno "expected ',' between labels";
+      incr pos
+    end
+  done;
+  List.rev !out
+
+let parse_value lineno v =
+  match v with
+  | "+Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> (
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> invalid lineno "unparseable sample value %S" v)
+
+type family = {
+  typ : string;
+  mutable buckets : (float * float) list;  (* le, cumulative — emission order *)
+  mutable count : float option;
+  mutable samples : int;
+}
+
+let known_types = [ "counter"; "gauge"; "histogram"; "summary"; "info"; "unknown" ]
+
+(* Which declared family does a sample name belong to, and is the
+   suffix legal for that family's type? *)
+let family_of families lineno sname =
+  let try_suffix suffix =
+    let ls = String.length suffix and ln = String.length sname in
+    if ln > ls && String.sub sname (ln - ls) ls = suffix then begin
+      let base = String.sub sname 0 (ln - ls) in
+      match Hashtbl.find_opt families base with
+      | Some f -> Some (base, f, suffix)
+      | None -> None
+    end
+    else None
+  in
+  let bare =
+    match Hashtbl.find_opt families sname with
+    | Some f -> Some (sname, f, "")
+    | None -> None
+  in
+  let candidates =
+    List.filter_map Fun.id
+      [ try_suffix "_total"; try_suffix "_bucket"; try_suffix "_sum";
+        try_suffix "_count"; try_suffix "_info"; bare ]
+  in
+  match candidates with
+  | [] ->
+    invalid lineno "sample %S does not belong to any declared family" sname
+  | (base, f, suffix) :: _ ->
+    let ok =
+      match (f.typ, suffix) with
+      | "counter", "_total" -> true
+      | "gauge", "" | "unknown", "" -> true
+      | "histogram", ("_bucket" | "_sum" | "_count") -> true
+      | "summary", ("_sum" | "_count" | "") -> true
+      | "info", "_info" -> true
+      | _ -> false
+    in
+    if not ok then
+      invalid lineno "sample %S has suffix %S, illegal for %s family %S" sname
+        suffix f.typ base;
+    (base, f, suffix)
+
+let validate text =
+  try
+    let lines = String.split_on_char '\n' text in
+    (* the exposition ends "...# EOF\n": exactly one trailing empty chunk *)
+    let lines =
+      match List.rev lines with
+      | "" :: rest -> List.rev rest
+      | _ -> raise (Invalid "exposition does not end with a newline")
+    in
+    let families : (string, family) Hashtbl.t = Hashtbl.create 32 in
+    let seen_eof = ref false in
+    let lineno = ref 0 in
+    List.iter
+      (fun line ->
+        incr lineno;
+        let n = !lineno in
+        if !seen_eof then invalid n "content after # EOF";
+        if line = "" then invalid n "blank line"
+        else if line = "# EOF" then seen_eof := true
+        else if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+          match String.split_on_char ' ' line with
+          | "#" :: kind :: name :: rest -> (
+            match kind with
+            | "HELP" ->
+              if not (valid_name name) then
+                invalid n "invalid metric name %S in HELP" name;
+              if rest = [] then invalid n "HELP without text"
+            | "TYPE" -> (
+              if not (valid_name name) then
+                invalid n "invalid metric name %S in TYPE" name;
+              match rest with
+              | [ t ] when List.mem t known_types ->
+                if Hashtbl.mem families name then
+                  invalid n "duplicate TYPE for family %S" name;
+                Hashtbl.add families name
+                  { typ = t; buckets = []; count = None; samples = 0 }
+              | _ -> invalid n "malformed TYPE line")
+            | _ -> invalid n "unknown metadata kind %S" kind)
+          | _ -> invalid n "malformed metadata line"
+        end
+        else begin
+          let sname, labels, value = split_sample n line in
+          if not (valid_name sname) then invalid n "invalid sample name %S" sname;
+          let labels =
+            match labels with Some body -> parse_labels n body | None -> []
+          in
+          let v = parse_value n value in
+          let base, fam, suffix = family_of families n sname in
+          fam.samples <- fam.samples + 1;
+          (match suffix with
+          | "_bucket" -> (
+            match List.assoc_opt "le" labels with
+            | None -> invalid n "histogram bucket without an le label"
+            | Some le ->
+              let lef =
+                if le = "+Inf" then Float.infinity
+                else
+                  match float_of_string_opt le with
+                  | Some f -> f
+                  | None -> invalid n "unparseable le label %S" le
+              in
+              (match fam.buckets with
+              | (ple, pcum) :: _ ->
+                if not (lef > ple) then
+                  invalid n "bucket le %S not increasing for family %S" le base;
+                if v < pcum then
+                  invalid n "cumulative bucket count decreased in family %S" base
+              | [] -> ());
+              fam.buckets <- (lef, v) :: fam.buckets)
+          | "_count" ->
+            if Float.is_integer v && v >= 0.0 then fam.count <- Some v
+            else invalid n "_count sample is not a non-negative integer"
+          | "_total" ->
+            if v < 0.0 then invalid n "counter %S is negative" sname
+          | _ -> ())
+        end)
+      lines;
+    if not !seen_eof then raise (Invalid "missing # EOF terminator");
+    (* cross-sample histogram consistency *)
+    Hashtbl.iter
+      (fun base f ->
+        if f.typ = "histogram" && f.samples > 0 then begin
+          match f.buckets with
+          | (le, cum) :: _ ->
+            if le <> Float.infinity then
+              raise
+                (Invalid
+                   (Printf.sprintf "family %S: last bucket is not le=\"+Inf\""
+                      base));
+            (match f.count with
+            | Some c when c <> cum ->
+              raise
+                (Invalid
+                   (Printf.sprintf
+                      "family %S: _count %g disagrees with +Inf bucket %g" base
+                      c cum))
+            | Some _ -> ()
+            | None ->
+              raise
+                (Invalid (Printf.sprintf "family %S: missing _count" base)))
+          | [] ->
+            raise
+              (Invalid
+                 (Printf.sprintf "family %S: histogram without buckets" base))
+        end)
+      families;
+    Ok ()
+  with Invalid m -> Error m
+
+let write_file path =
+  let text = render () in
+  (match validate text with
+  | Ok () -> ()
+  | Error m ->
+    (* A render/validate disagreement is an internal format bug. *)
+    raise (Invalid ("rendered invalid exposition: " ^ m)));
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc

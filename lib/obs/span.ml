@@ -34,6 +34,9 @@ let with_ ~name f =
           List.map (fun (c, n) -> (Cost.name c, n)) (Cost.since csnap)
         in
         depth := d;
+        (* Latency distributions for free on existing traces: every
+           close feeds the per-span-name Qhist. *)
+        Qhist.observe ("span." ^ name) dur;
         s.Sink.on_span { Sink.name; depth = d; start; dur; counters; cost; prof })
       f
   end

@@ -6,7 +6,10 @@
     executable and the [vmor report] subcommand, and return strings —
     printing is the caller's business. *)
 
-type record = Span of Sink.span_record | Event of Sink.event_record
+type record =
+  | Span of Sink.span_record
+  | Event of Sink.event_record
+  | Scope of Sink.scope_record
 
 type item = Node of Sink.span_record * item list | Leaf of Sink.event_record
 
@@ -14,6 +17,9 @@ type t = {
   roots : item list;  (** top-level items, in completion order *)
   spans : Sink.span_record list;  (** all spans, emission order *)
   events : Sink.event_record list;  (** all events, emission order *)
+  scopes : Sink.scope_record list;
+      (** all scope closes, emission order.  Scope depths are
+          per-domain, so scopes stay out of the span tree. *)
 }
 
 exception Malformed of string

@@ -160,6 +160,67 @@ let prop_h2_linear_in_g2 =
       Cvec.dist (Cvec.scale { Complex.re = 2.0; im = 0.0 } h1v) h2v
       < 1e-9 *. (1.0 +. Cvec.norm2 h2v))
 
+(* ---- random systems through the full reduction pipeline ---- *)
+
+(* The AT projection basis is orthonormal whatever stable system the
+   generator throws at it (deflation keeps the Gram matrix at I even
+   when random moment directions nearly coincide). *)
+let prop_reduce_basis_orthonormal =
+  QCheck2.Test.make ~name:"mor: reduce yields orthonormal basis on random QLDAEs"
+    ~count:8 (gen_qldae 5) (fun q ->
+      let r =
+        Mor.Atmor.reduce ~s0:0.5
+          ~orders:{ Mor.Atmor.k1 = 3; k2 = 2; k3 = 0 }
+          q
+      in
+      let v = r.Mor.Atmor.basis in
+      let g = Mat.mul (Mat.transpose v) v in
+      let m = Mat.cols v in
+      let ok = ref (m > 0) in
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          let expect = if i = j then 1.0 else 0.0 in
+          if Float.abs (Mat.get g i j -. expect) > 1e-8 then ok := false
+        done
+      done;
+      !ok)
+
+(* Moment matching is what the basis is for: at the expansion point the
+   ROM's H1/H2 residuals against the full system vanish. *)
+let prop_reduce_moments_match =
+  QCheck2.Test.make ~name:"mor: moment-match residuals vanish on random QLDAEs"
+    ~count:6 (gen_qldae 5) (fun q ->
+      let r =
+        Mor.Atmor.reduce ~s0:0.5
+          ~orders:{ Mor.Atmor.k1 = 3; k2 = 2; k3 = 0 }
+          q
+      in
+      let d =
+        Mor.Romdiag.moment_residuals ~s0:0.5 ~full:q ~rom:r.Mor.Atmor.rom ()
+      in
+      let small = function None -> true | Some x -> x < 1e-6 in
+      small d.Mor.Romdiag.h1 && small d.Mor.Romdiag.h2)
+
+(* The associated-transform path (AT) and the multivariate path (NORM)
+   match the same H2 moments, so at equal orders their ROMs agree at
+   the expansion point on any random stable system. *)
+let prop_at_vs_norm_equivalent =
+  QCheck2.Test.make ~name:"mor: AT and NORM residuals agree on random QLDAEs"
+    ~count:6 (gen_qldae 4) (fun q ->
+      let orders = { Mor.Atmor.k1 = 3; k2 = 2; k3 = 0 } in
+      let at = Mor.Atmor.reduce ~s0:0.5 ~orders q in
+      let norm = Mor.Norm.reduce ~s0:0.5 ~orders q in
+      let res rom =
+        Mor.Romdiag.moment_residuals ~s0:0.5 ~full:q ~rom ()
+      in
+      let da = res at.Mor.Atmor.rom and dn = res norm.Mor.Atmor.rom in
+      let both_small = function
+        | Some a, Some b -> a < 1e-6 && b < 1e-6
+        | _ -> true
+      in
+      both_small (da.Mor.Romdiag.h1, dn.Mor.Romdiag.h1)
+      && both_small (da.Mor.Romdiag.h2, dn.Mor.Romdiag.h2))
+
 let suite =
   [
     ( "properties.cross_module",
@@ -171,5 +232,8 @@ let suite =
           prop_projection_orthogonal_invariance;
           prop_quadratize_exact;
           prop_h2_linear_in_g2;
+          prop_reduce_basis_orthonormal;
+          prop_reduce_moments_match;
+          prop_at_vs_norm_equivalent;
         ] );
   ]

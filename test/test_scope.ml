@@ -1,0 +1,370 @@
+(* Tests for PR 10: per-request telemetry scopes (Obs.Scope),
+   deterministic quantile histograms (Obs.Qhist) and the OpenMetrics
+   exporter — plus the bench gate's latency block.
+
+   The load-bearing assertions are the exactness ones: concurrent
+   per-scope deltas must sum to the process-wide delta (Scope diffs
+   domain-local accumulators, not merged snapshots), and Qhist bucket
+   counts / quantiles must come out bit-identical whether a value
+   stream is observed serially or split across 4 domains. *)
+
+let check_int = Alcotest.(check int)
+
+(* Fixed synthetic value stream: integer LCG + ldexp only, so the
+   multiset is identical on every host and the only question is
+   whether the histogram machinery preserves it. *)
+let lcg_stream ~seed n =
+  let x = ref seed in
+  List.init n (fun _ ->
+      x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+      let m = 1.0 +. (float_of_int (!x land 0xFFFF) /. 65536.0) in
+      let e = ((!x lsr 16) mod 20) - 10 in
+      Float.ldexp m e)
+
+(* ---- scopes: nesting and delta capture ---- *)
+
+let test_scope_nesting_and_deltas () =
+  let (), outer =
+    Obs.Scope.with_result ~name:"t.outer" (fun () ->
+        Obs.Metrics.incr ~by:2 Obs.Metrics.Lu_factor;
+        let (), inner =
+          Obs.Scope.with_result ~name:"t.inner" (fun () ->
+              (* depth () counts open scopes: outer + inner = 2 *)
+              check_int "inner depth" 2 (Obs.Scope.depth ());
+              Obs.Metrics.incr ~by:3 Obs.Metrics.Matvec)
+        in
+        check_int "inner is depth 1" 1 inner.Obs.Scope.depth;
+        Alcotest.(check (list (pair string int)))
+          "inner sees only its own counters"
+          [ ("matvec", 3) ]
+          (List.map
+             (fun (c, n) -> (Obs.Metrics.name c, n))
+             inner.Obs.Scope.counters))
+  in
+  check_int "outer is depth 0" 0 outer.Obs.Scope.depth;
+  check_int "depth restored" 0 (Obs.Scope.depth ());
+  (* outer deltas are inclusive of the nested scope *)
+  let get c =
+    Option.value ~default:0 (List.assoc_opt c outer.Obs.Scope.counters)
+  in
+  check_int "outer lu_factor" 2 (get Obs.Metrics.Lu_factor);
+  check_int "outer matvec (inclusive)" 3 (get Obs.Metrics.Matvec);
+  Alcotest.(check bool) "duration nonnegative" true (outer.Obs.Scope.dur >= 0.0)
+
+let test_scope_exception_safe () =
+  let before = Obs.Scope.depth () in
+  (match
+     Obs.Scope.with_ ~name:"t.raises" (fun () -> raise (Failure "boom"))
+   with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  check_int "depth restored after raise" before (Obs.Scope.depth ())
+
+(* Sum of concurrent per-scope deltas = process-wide delta, under 4
+   domains.  This is the property Span cannot give (it diffs merged
+   snapshots, smearing concurrent work): each scope diffs its own
+   domain's accumulator, so nothing is double-counted or lost. *)
+let test_concurrent_scope_exactness () =
+  Vmor.Par.with_domains (Some 4) (fun () ->
+      let snap = Obs.Metrics.snapshot () in
+      let csnap = Obs.Cost.snapshot () in
+      let items = List.init 16 (fun i -> i + 1) in
+      let scopes =
+        Vmor.Par.map_list
+          (fun i ->
+            snd
+              (Obs.Scope.with_result ~name:"t.conc" (fun () ->
+                   Obs.Metrics.incr ~by:i Obs.Metrics.Matvec;
+                   Obs.Cost.charge Obs.Cost.Flops_axpy (10 * i))))
+          items
+      in
+      let expected = List.fold_left ( + ) 0 items in
+      let scope_sum sel =
+        List.fold_left (fun acc s -> acc + sel s) 0 scopes
+      in
+      let metric_of (s : Obs.Scope.t) =
+        Option.value ~default:0
+          (List.assoc_opt Obs.Metrics.Matvec s.Obs.Scope.counters)
+      in
+      let cost_of (s : Obs.Scope.t) =
+        Option.value ~default:0
+          (List.assoc_opt Obs.Cost.Flops_axpy s.Obs.Scope.cost)
+      in
+      (* every scope captured exactly its own item's increments *)
+      List.iter2
+        (fun i s ->
+          check_int (Printf.sprintf "scope %d matvec" i) i (metric_of s);
+          check_int (Printf.sprintf "scope %d cost" i) (10 * i) (cost_of s))
+        items scopes;
+      (* ... and they sum to the process-wide deltas *)
+      check_int "scope matvec deltas sum to global" expected
+        (scope_sum metric_of);
+      check_int "global matvec delta" expected
+        (Option.value ~default:0
+           (List.assoc_opt Obs.Metrics.Matvec (Obs.Metrics.since snap)));
+      check_int "scope cost deltas sum to global" (10 * expected)
+        (scope_sum cost_of);
+      check_int "global cost delta" (10 * expected)
+        (Option.value ~default:0
+           (List.assoc_opt Obs.Cost.Flops_axpy (Obs.Cost.since csnap))))
+
+(* ---- qhist: geometry, merge exactness, quantile determinism ---- *)
+
+let test_qhist_geometry () =
+  (* below-range, zero, negative and NaN land in underflow *)
+  check_int "zero underflows" 0 (Obs.Qhist.bucket_index 0.0);
+  check_int "negative underflows" 0 (Obs.Qhist.bucket_index (-1.0));
+  check_int "nan underflows" 0 (Obs.Qhist.bucket_index Float.nan);
+  check_int "inf overflows"
+    (Obs.Qhist.n_buckets - 1)
+    (Obs.Qhist.bucket_index Float.infinity);
+  (* each in-range value sits strictly under its bucket's upper edge
+     and at-or-above the previous bucket's (half-open [lower, upper)) *)
+  List.iter
+    (fun v ->
+      let i = Obs.Qhist.bucket_index v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g < upper_bound %d" v i)
+        true
+        (v < Obs.Qhist.upper_bound i);
+      Alcotest.(check bool)
+        (Printf.sprintf "%g >= upper_bound %d" v (i - 1))
+        true
+        (v >= Obs.Qhist.upper_bound (i - 1)))
+    [ 1e-9; 0.001; 0.5; 0.9999; 1.0; 1.25; 3.0; 1000.0; 1e9 ];
+  (* a dyadic boundary value counts toward the higher bucket: 1.0 is
+     the lower edge of its bucket, i.e. the previous upper edge *)
+  let i1 = Obs.Qhist.bucket_index 1.0 in
+  Alcotest.(check (float 0.0))
+    "1.0 sits on its bucket's lower edge" 1.0
+    (Obs.Qhist.upper_bound (i1 - 1))
+
+let test_qhist_merge_determinism () =
+  let values = lcg_stream ~seed:42 2000 in
+  List.iter (Obs.Qhist.observe "t.qh.serial") values;
+  Vmor.Par.with_domains (Some 4) (fun () ->
+      ignore
+        (Vmor.Par.map_list (fun v -> Obs.Qhist.observe "t.qh.par" v) values));
+  let vs =
+    match Obs.Qhist.view "t.qh.serial" with
+    | Some v -> v
+    | None -> Alcotest.fail "serial view missing"
+  in
+  let vp =
+    match Obs.Qhist.view "t.qh.par" with
+    | Some v -> v
+    | None -> Alcotest.fail "parallel view missing"
+  in
+  check_int "counts equal" vs.Obs.Qhist.count vp.Obs.Qhist.count;
+  Alcotest.(check (array int))
+    "bucket counts bit-identical across domain splits" vs.Obs.Qhist.buckets
+    vp.Obs.Qhist.buckets;
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g bit-identical" (100.0 *. q))
+        true
+        (Float.equal (Obs.Qhist.quantile vs q) (Obs.Qhist.quantile vp q)))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  (* quantiles are monotone in q and live inside [min, max] bucket span *)
+  let p50 = Obs.Qhist.quantile vs 0.5 in
+  let p99 = Obs.Qhist.quantile vs 0.99 in
+  Alcotest.(check bool) "p50 <= p99" true (p50 <= p99);
+  Alcotest.(check bool)
+    "nonzero_buckets positive" true
+    (Obs.Qhist.nonzero_buckets vs > 0)
+
+let test_qhist_moments () =
+  List.iter
+    (fun v -> Obs.Qhist.observe "t.qh.sd" (float_of_int v))
+    [ 2; 4; 4; 4; 5; 5; 7; 9 ];
+  let v =
+    match Obs.Qhist.view "t.qh.sd" with
+    | Some v -> v
+    | None -> Alcotest.fail "view missing"
+  in
+  check_int "count" 8 v.Obs.Qhist.count;
+  Alcotest.(check (float 1e-12)) "mean" 5.0 (Obs.Qhist.mean v);
+  Alcotest.(check (float 1e-12)) "stddev" 2.0 (Obs.Qhist.stddev v);
+  Alcotest.(check (float 0.0)) "min" 2.0 v.Obs.Qhist.minv;
+  Alcotest.(check (float 0.0)) "max" 9.0 v.Obs.Qhist.maxv
+
+(* every instrumented span close feeds its duration into the
+   "span.<name>" qhist (under the null sink spans don't run at all —
+   that is the zero-overhead contract, not a missed feed) *)
+let test_span_feeds_qhist () =
+  let before =
+    match Obs.Qhist.view "span.t.fed" with
+    | Some v -> v.Obs.Qhist.count
+    | None -> 0
+  in
+  let sink, _captured = Obs.Sink.memory () in
+  Obs.Sink.set sink;
+  Fun.protect
+    ~finally:(fun () -> Obs.Sink.set Obs.Sink.null)
+    (fun () ->
+      Obs.Span.with_ ~name:"t.fed" (fun () -> ());
+      Obs.Span.with_ ~name:"t.fed" (fun () -> ()));
+  match Obs.Qhist.view "span.t.fed" with
+  | Some v -> check_int "span durations recorded" (before + 2) v.Obs.Qhist.count
+  | None -> Alcotest.fail "span qhist missing"
+
+(* the CSV summary carries per-stat columns (not a packed blob) *)
+let test_metrics_csv_columns () =
+  Obs.Metrics.observe "t.csv.h" 2.0;
+  Obs.Metrics.observe "t.csv.h" 4.0;
+  let csv = Obs.Metrics.to_csv_string () in
+  let contains needle =
+    let nl = String.length needle and l = String.length csv in
+    let rec go i = i + nl <= l && (String.sub csv i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "per-stat header" true
+    (contains "kind,name,value,count,sum,sumsq,min,max,stddev");
+  Alcotest.(check bool) "histogram row present" true (contains "histogram,t.csv.h")
+
+(* ---- openmetrics: render/validate round trip ---- *)
+
+let test_openmetrics_round_trip () =
+  Obs.Metrics.incr ~by:5 Obs.Metrics.Matvec;
+  Obs.Metrics.observe "t.om.h" 0.25;
+  Obs.Metrics.observe "t.om.h" 4.0;
+  (* overflow-bucket population must not duplicate the terminal +Inf
+     sample (its upper edge is +Inf already) *)
+  Obs.Metrics.observe "t.om.h" Float.infinity;
+  let text = Obs.Openmetrics.render () in
+  (match Obs.Openmetrics.validate text with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("render failed its own validator: " ^ m));
+  let contains needle =
+    let nl = String.length needle and l = String.length text in
+    let rec go i =
+      i + nl <= l && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "counter family" true (contains "vmor_matvec_total");
+  Alcotest.(check bool)
+    "histogram family" true
+    (contains "vmor_hist_t_om_h_bucket");
+  Alcotest.(check bool) "+Inf bucket" true (contains "le=\"+Inf\"");
+  Alcotest.(check bool) "terminal EOF" true (contains "# EOF")
+
+let test_openmetrics_validator_rejects () =
+  let text = Obs.Openmetrics.render () in
+  let reject label mutate =
+    match Obs.Openmetrics.validate (mutate text) with
+    | Ok () -> Alcotest.fail (label ^ ": corruption not caught")
+    | Error _ -> ()
+  in
+  reject "missing EOF" (fun t ->
+      (* strip the trailing "# EOF\n" *)
+      String.sub t 0 (String.length t - 6));
+  reject "garbage line" (fun t -> "!! not a metric line\n" ^ t);
+  reject "content after EOF" (fun t -> t ^ "vmor_matvec_total 1\n")
+
+(* scope records survive the JSONL round trip through Trace.load *)
+let test_scope_jsonl_round_trip () =
+  let path = Filename.temp_file "vmor_scope" ".jsonl" in
+  let oc = open_out path in
+  let sink = Obs.Sink.jsonl oc in
+  Obs.Sink.set sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.set Obs.Sink.null;
+      close_out_noerr oc)
+    (fun () ->
+      Obs.Scope.with_ ~name:"t.wire" (fun () ->
+          Obs.Metrics.incr ~by:7 Obs.Metrics.Matvec);
+      sink.Obs.Sink.flush ());
+  let t = Obs.Trace.load path in
+  Sys.remove path;
+  (match t.Obs.Trace.scopes with
+  | [ s ] ->
+    Alcotest.(check string) "scope name" "t.wire" s.Obs.Sink.name;
+    check_int "scope depth" 0 s.Obs.Sink.depth;
+    check_int "scope counter delta" 7
+      (Option.value ~default:0 (List.assoc_opt "matvec" s.Obs.Sink.counters))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 scope, got %d" (List.length l)));
+  (* scopes stay out of the span tree *)
+  check_int "no spans from scopes" 0 (List.length t.Obs.Trace.spans)
+
+(* ---- bench gate: latency block pass/fail matrix ---- *)
+
+let bench_src ?latency () =
+  let lat =
+    match latency with
+    | None -> ""
+    | Some (p50, p99, det_p50) ->
+      Printf.sprintf
+        ",\n\
+        \  \"latency\": {\"requests\": 32, \"p50_s\": %s, \"p99_s\": %s, \
+         \"det\": {\"count\": 4096, \"nonzero_buckets\": 160, \"p50\": %s, \
+         \"p90\": 63.25, \"p99\": 774.5}}"
+        p50 p99 det_p50
+  in
+  Printf.sprintf "{\"scale\": 0.25,\n  \"experiments\": []%s}\n" lat
+
+let violations ?(ignore_wall = false) base fresh =
+  Gatecheck.check ~ignore_wall ~baseline:(Gatecheck.parse base)
+    ~fresh:(Gatecheck.parse fresh) ()
+
+let test_gate_latency_matrix () =
+  let good = bench_src ~latency:("0.5", "0.75", "0.000753") () in
+  check_int "identical passes" 0 (List.length (violations good good));
+  (* det drift fails even under --ignore-wall: the fingerprint is the
+     determinism contract, not a timing *)
+  let det_drift = bench_src ~latency:("0.5", "0.75", "0.000754") () in
+  check_int "det drift fails" 1
+    (List.length (violations ~ignore_wall:true good det_drift));
+  (* wall quantile drift: banded without --ignore-wall, skipped with *)
+  let slow = bench_src ~latency:("1.2", "0.75", "0.000753") () in
+  check_int "p50 blowup fails with walls on" 1
+    (List.length (violations good slow));
+  check_int "p50 blowup skipped under ignore-wall" 0
+    (List.length (violations ~ignore_wall:true good slow));
+  (* small wall wobble stays inside the band *)
+  let wobble = bench_src ~latency:("0.5625", "0.875", "0.000753") () in
+  check_int "one-bucket wobble passes" 0
+    (List.length (violations good wobble));
+  (* structural both directions *)
+  let absent = bench_src () in
+  check_int "block disappearing fails" 1
+    (List.length (violations ~ignore_wall:true good absent));
+  check_int "block appearing vs old baseline fails" 1
+    (List.length (violations ~ignore_wall:true absent good))
+
+let suite =
+  [
+    ( "scope.deltas",
+      [
+        Alcotest.test_case "nesting and delta capture" `Quick
+          test_scope_nesting_and_deltas;
+        Alcotest.test_case "exception safety" `Quick test_scope_exception_safe;
+        Alcotest.test_case "concurrent exactness (4 domains)" `Quick
+          test_concurrent_scope_exactness;
+      ] );
+    ( "qhist.determinism",
+      [
+        Alcotest.test_case "bucket geometry" `Quick test_qhist_geometry;
+        Alcotest.test_case "merge + quantile determinism" `Quick
+          test_qhist_merge_determinism;
+        Alcotest.test_case "moments" `Quick test_qhist_moments;
+        Alcotest.test_case "span durations feed qhist" `Quick
+          test_span_feeds_qhist;
+        Alcotest.test_case "csv per-stat columns" `Quick
+          test_metrics_csv_columns;
+      ] );
+    ( "openmetrics.format",
+      [
+        Alcotest.test_case "render/validate round trip" `Quick
+          test_openmetrics_round_trip;
+        Alcotest.test_case "validator rejects corruption" `Quick
+          test_openmetrics_validator_rejects;
+        Alcotest.test_case "scope jsonl round trip" `Quick
+          test_scope_jsonl_round_trip;
+        Alcotest.test_case "gate latency matrix" `Quick
+          test_gate_latency_matrix;
+      ] );
+  ]

@@ -51,6 +51,16 @@ let par_speedup_min = 2.5  (* 4-domain speedup on >= 4 cores *)
 let par_overhead_max = 2.0  (* percent: 1-domain over serial *)
 let par_wall_floor = 0.05  (* seconds of serial wall *)
 
+(* Request-latency quantiles are sub-second, so the experiment wall
+   band's 2s absolute floor would swallow them entirely — they get
+   their own, tighter floor.  The relative band is wider than the
+   experiment one because a p50/p99 of 32 requests carries both
+   order-statistic noise and the Qhist's log-linear bucket quantization
+   (~19% between adjacent bucket interpolants), so a one-bucket shift
+   must stay inside the band. *)
+let latency_wall_tolerance = 0.50
+let latency_wall_floor = 0.15  (* seconds *)
+
 type rom = {
   method_name : string;
   order : int;
@@ -80,6 +90,21 @@ type par = {
          overhead_1_pct, as written by the bench `par` pass *)
 }
 
+type latency = {
+  requests : int;
+  p50_s : float;  (* wall quantiles over the scoped request loop: banded *)
+  p99_s : float;
+  det_count : int;
+      (* deterministic Qhist fingerprint: a fixed synthetic value stream
+         through the production bucket geometry, so counts and quantiles
+         are pure integer/ldexp arithmetic — pinned exactly, even under
+         --ignore-wall *)
+  det_nonzero : int;
+  det_p50 : float;
+  det_p90 : float;
+  det_p99 : float;
+}
+
 type bench = {
   scale : float;
   experiments : experiment list;
@@ -87,6 +112,7 @@ type bench = {
       (* instrumentation-overhead percentages (budget polling, …):
          wall-derived, so banded only when wall checks are on *)
   par : par option;  (* Vmor.Par speedup block, absent pre-PR-8 *)
+  latency : latency option;  (* request-latency block, absent pre-PR-10 *)
 }
 
 exception Bad_bench of string
@@ -150,6 +176,22 @@ let parse (src : string) : bench =
                     if String.equal k "cores" then None
                     else Some (k, to_num v))
                   (to_obj p);
+            });
+      latency =
+        (match member "latency" json with
+        | None -> None
+        | Some l ->
+          let det = member_exn "det" l in
+          Some
+            {
+              requests = to_int (member_exn "requests" l);
+              p50_s = to_num (member_exn "p50_s" l);
+              p99_s = to_num (member_exn "p99_s" l);
+              det_count = to_int (member_exn "count" det);
+              det_nonzero = to_int (member_exn "nonzero_buckets" det);
+              det_p50 = to_num (member_exn "p50" det);
+              det_p90 = to_num (member_exn "p90" det);
+              det_p99 = to_num (member_exn "p99" det);
             });
     }
   with Parse_error m -> bad "bad bench schema: %s" m
@@ -422,6 +464,77 @@ let check_par ~ignore_wall acc (old_p : par option) (new_p : par option) =
           :: acc
         else acc
 
+(* The latency block is structural first, like par; then split along
+   the determinism boundary.  The det sub-block is a fixed synthetic
+   stream through the production Qhist geometry — integer LCG + ldexp
+   only — so its counts and quantiles are compared *exactly* (the
+   floats survive the JSON round trip bit-for-bit via %.17g), even
+   under --ignore-wall: any drift is a real change in bucket indexing,
+   merge arithmetic or quantile interpolation.  The wall quantiles
+   p50_s / p99_s get the ordinary wall band. *)
+let check_latency ~ignore_wall acc (old_l : latency option)
+    (new_l : latency option) =
+  let where = "(latency)" in
+  match (old_l, new_l) with
+  | None, None -> acc
+  | Some _, None ->
+    structural ~where ~metric:"latency block" ~baseline:"present"
+      ~current:"missing" acc
+  | None, Some _ ->
+    structural ~where ~metric:"latency block"
+      ~baseline:"absent (refresh baseline)" ~current:"present" acc
+  | Some old_l, Some new_l ->
+    let exact_int metric acc old_v new_v =
+      if old_v = new_v then acc
+      else
+        {
+          where;
+          metric;
+          baseline = string_of_int old_v;
+          current = string_of_int new_v;
+          allowed = "exact";
+        }
+        :: acc
+    in
+    let exact_float metric acc old_v new_v =
+      if Float.equal old_v new_v then acc
+      else
+        {
+          where;
+          metric;
+          baseline = Printf.sprintf "%.17g" old_v;
+          current = Printf.sprintf "%.17g" new_v;
+          allowed = "exact (deterministic fingerprint)";
+        }
+        :: acc
+    in
+    let acc = exact_int "requests" acc old_l.requests new_l.requests in
+    let acc = exact_int "det.count" acc old_l.det_count new_l.det_count in
+    let acc =
+      exact_int "det.nonzero_buckets" acc old_l.det_nonzero new_l.det_nonzero
+    in
+    let acc = exact_float "det.p50" acc old_l.det_p50 new_l.det_p50 in
+    let acc = exact_float "det.p90" acc old_l.det_p90 new_l.det_p90 in
+    let acc = exact_float "det.p99" acc old_l.det_p99 new_l.det_p99 in
+    if ignore_wall then acc
+    else
+      let banded metric acc old_v new_v =
+        if rel_diff ~old_v ~new_v > latency_wall_tolerance
+           && Float.abs (new_v -. old_v) > latency_wall_floor
+        then
+          {
+            where;
+            metric;
+            baseline = Printf.sprintf "%.4fs" old_v;
+            current = Printf.sprintf "%.4fs" new_v;
+            allowed = Printf.sprintf "+-%.0f%%" (100.0 *. latency_wall_tolerance);
+          }
+          :: acc
+        else acc
+      in
+      let acc = banded "p50_s" acc old_l.p50_s new_l.p50_s in
+      banded "p99_s" acc old_l.p99_s new_l.p99_s
+
 let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
     violation list =
   let acc =
@@ -488,6 +601,7 @@ let check ?(ignore_wall = false) ~(baseline : bench) ~(fresh : bench) () :
         acc fresh.overheads
   in
   let acc = check_par ~ignore_wall acc baseline.par fresh.par in
+  let acc = check_latency ~ignore_wall acc baseline.latency fresh.latency in
   List.rev acc
 
 let json_escape s =

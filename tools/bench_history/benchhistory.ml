@@ -156,6 +156,20 @@ let row_of (pr : int) (e : Gatecheck.experiment) =
     orders_of e,
     Printf.sprintf "%.6f" (max_err_of e) )
 
+(* run-level request-latency quantiles (the bench `latency` pass,
+   PR 10+); snapshots predating the block render as n/a so the series
+   stays rectangular *)
+let latency_cells (b : Gatecheck.bench) =
+  match b.Gatecheck.latency with
+  | None -> ("n/a", "n/a", "n/a")
+  | Some l ->
+    ( string_of_int l.Gatecheck.requests,
+      Printf.sprintf "%.4f" l.Gatecheck.p50_s,
+      Printf.sprintf "%.4f" l.Gatecheck.p99_s )
+
+let any_latency (series : entry list) =
+  List.exists (fun e -> e.bench.Gatecheck.latency <> None) series
+
 let render_table (series : entry list) : string =
   let b = Buffer.create 2048 in
   (match series with
@@ -178,13 +192,28 @@ let render_table (series : entry list) : string =
                    flops rate orders err))
           series;
         Buffer.add_char b '\n')
-      (experiment_ids series));
+      (experiment_ids series);
+    if any_latency series then begin
+      Buffer.add_string b "== (latency) ==\n";
+      Buffer.add_string b
+        (Printf.sprintf "  %4s  %10s  %10s  %10s\n" "pr" "requests" "p50_s"
+           "p99_s");
+      List.iter
+        (fun entry ->
+          let requests, p50, p99 = latency_cells entry.bench in
+          Buffer.add_string b
+            (Printf.sprintf "  %4d  %10s  %10s  %10s\n" entry.pr requests p50
+               p99))
+        series;
+      Buffer.add_char b '\n'
+    end);
   Buffer.contents b
 
 let render_csv (series : entry list) : string =
   let b = Buffer.create 2048 in
   Buffer.add_string b
-    "experiment,pr,wall_seconds,flops,flops_per_sec,orders,max_rel_error\n";
+    "experiment,pr,wall_seconds,flops,flops_per_sec,orders,max_rel_error,\
+     latency_p50_s,latency_p99_s\n";
   List.iter
     (fun id ->
       List.iter
@@ -193,9 +222,10 @@ let render_csv (series : entry list) : string =
           | None -> ()
           | Some e ->
             let pr, wall, flops, rate, orders, err = row_of entry.pr e in
+            let _, p50, p99 = latency_cells entry.bench in
             Buffer.add_string b
-              (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s\n" id pr wall flops rate
-                 orders err))
+              (Printf.sprintf "%s,%s,%s,%s,%s,%s,%s,%s,%s\n" id pr wall flops
+                 rate orders err p50 p99))
         series)
     (experiment_ids series);
   Buffer.contents b

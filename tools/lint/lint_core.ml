@@ -10,8 +10,9 @@
 
    1. Per-file AST rules (float-eq, obj-magic, lib-printf,
       raw-matrix-alloc, mli-pair, dim-guard, no-bare-failwith,
-      raw-clock, raw-gc, toplevel-mutable, unsync-global-write,
-      parse-error) plus the meta diagnostic stale-allowlist.
+      raw-clock, raw-gc, raw-quantile, toplevel-mutable,
+      unsync-global-write, parse-error) plus the meta diagnostic
+      stale-allowlist.
 
    2. A whole-program domain-safety classifier: per-module shared
       mutable state inventory, a cross-module call graph over lib/,
@@ -52,6 +53,9 @@ let rules =
     ("raw-domain-spawn",
      "Domain.spawn outside lib/par (Par.parallel_for / Par.map_list \
       own the worker pool)");
+    ("raw-quantile",
+     "quantile/percentile computed outside lib/obs and not through \
+      Obs.Qhist (bucketed quantiles are the deterministic ones)");
     ("toplevel-mutable",
      "module-level mutable state in lib/ (ref, mutable record, array, \
       Hashtbl, Buffer, lazy); domains race on it");
@@ -250,6 +254,20 @@ let check_expression ctx path (e : expression) =
          "Domain.spawn outside lib/par; use Par.parallel_for / \
           Par.map_list so pool sizing, determinism and budget latching \
           stay centralized"
+   | Some name
+     when (match List.rev name with
+           | ("quantile" | "percentile") :: _ -> true
+           | _ -> false)
+          && (not (List.mem "Qhist" name))
+          && not (in_lib_obs path) ->
+       (* Obs.Qhist.quantile is the blessed implementation: rank-based
+          over integer bucket counts, so bit-identical across runs and
+          domain splits.  An ad-hoc sort-and-index quantile silently
+          loses that guarantee (and ties break differently). *)
+       report ctx path line "raw-quantile"
+         "ad-hoc quantile/percentile outside lib/obs; derive quantiles \
+          from an Obs.Qhist view so they stay deterministic and \
+          merge-exact"
    | Some name when in_lib path && List.mem name stdout_printers ->
        report ctx path line "lib-printf"
          (Printf.sprintf "%s in library code; return strings or use Format \
